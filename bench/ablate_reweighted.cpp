@@ -1,0 +1,78 @@
+// Ablation — software vs hardware routes to fewer measurements.  The
+// paper argues recovery-side tricks ("model-based and similar structural
+// sparse recovery") can only partially close the measurement gap; the
+// hybrid's low-resolution hardware channel closes it decisively.  This
+// bench pits iteratively reweighted ℓ1 (the strongest generic software
+// enhancement) against the hybrid box at the same channel counts.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "csecg/core/runner.hpp"
+#include "csecg/metrics/quality.hpp"
+#include "csecg/recovery/reweighted.hpp"
+
+int main() {
+  using namespace csecg;
+  bench::print_header("ablate_reweighted",
+                      "reweighted l1 (software) vs hybrid box (hardware) "
+                      "per channel count");
+
+  const auto& database = bench::shared_database();
+  const std::size_t records =
+      std::min<std::size_t>(bench::records_budget(), 6);
+
+  std::printf("m,cs_snr_db,reweighted_snr_db,hybrid_snr_db\n");
+  for (std::size_t m : {64u, 96u, 128u, 192u}) {
+    core::FrontEndConfig config;
+    config.measurements = m;
+    const auto lowres_codec = core::train_lowres_codec(config, database);
+    const core::Codec codec(config, lowres_codec);
+
+    sensing::RmpiConfig rmpi_config;
+    rmpi_config.channels = m;
+    rmpi_config.window = config.window;
+    rmpi_config.chip_seed = config.chip_seed;
+    rmpi_config.input_full_scale = config.dc_reference();
+    const sensing::RmpiSimulator rmpi(rmpi_config);
+    const dsp::Dwt dwt(config.wavelet, config.window, config.wavelet_levels);
+    const auto phi = rmpi.effective_operator();
+    const auto psi = dwt.synthesis_operator();
+    const double sigma =
+        config.sigma_scale * rmpi.expected_quantization_noise_norm();
+    const double dc = config.dc_reference();
+
+    double snr_cs = 0.0;
+    double snr_rw = 0.0;
+    double snr_hybrid = 0.0;
+    for (std::size_t r = 0; r < records; ++r) {
+      const linalg::Vector window = database.record(r).window(720, 512);
+      const core::Frame frame = codec.encoder().encode(window);
+
+      const auto normal =
+          codec.decoder().decode(frame, core::DecodeMode::kNormalCs);
+      snr_cs += metrics::snr_from_prd(
+          metrics::prd_zero_mean(window, normal.x));
+
+      recovery::ReweightedOptions rw;
+      rw.rounds = 3;
+      rw.solver = config.solver;
+      const auto reweighted = recovery::solve_reweighted_bpdn(
+          phi, psi, frame.measurements, sigma, std::nullopt, rw);
+      linalg::Vector x_rw = reweighted.x;
+      for (auto& v : x_rw) v += dc;
+      snr_rw +=
+          metrics::snr_from_prd(metrics::prd_zero_mean(window, x_rw));
+
+      const auto hybrid =
+          codec.decoder().decode(frame, core::DecodeMode::kHybrid);
+      snr_hybrid += metrics::snr_from_prd(
+          metrics::prd_zero_mean(window, hybrid.x));
+    }
+    const auto denom = static_cast<double>(records);
+    std::printf("%zu,%.2f,%.2f,%.2f\n", m, snr_cs / denom, snr_rw / denom,
+                snr_hybrid / denom);
+  }
+  std::printf("# expectation: reweighting buys 1-3 dB over plain BPDN; the "
+              "hybrid box buys far more at small m\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the experiment benches.
+//
+// Every figure/table bench honours two environment variables so the full
+// 48-record MIT-BIH-scale sweep can be reproduced when CPU time allows:
+//   CSECG_RECORDS  — records to evaluate (default 8, max 48)
+//   CSECG_WINDOWS  — analysis windows per record (default 1)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "csecg/core/frontend.hpp"
+#include "csecg/ecg/record.hpp"
+
+namespace csecg::bench {
+
+inline std::size_t env_or(const char* name, std::size_t fallback,
+                          std::size_t max_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long parsed = std::strtol(value, nullptr, 10);
+  if (parsed < 1) return fallback;
+  return std::min(static_cast<std::size_t>(parsed), max_value);
+}
+
+inline std::size_t records_budget() { return env_or("CSECG_RECORDS", 8, 48); }
+inline std::size_t windows_budget() { return env_or("CSECG_WINDOWS", 1, 64); }
+
+/// The database every bench evaluates on: 60-second surrogate records,
+/// fixed seed 2015 so all benches and EXPERIMENTS.md agree.
+inline const ecg::SyntheticDatabase& shared_database() {
+  static const ecg::SyntheticDatabase database = [] {
+    ecg::RecordConfig config;
+    config.duration_seconds = 60.0;
+    return ecg::SyntheticDatabase(config, 2015);
+  }();
+  return database;
+}
+
+/// The paper's Fig. 7 CR grid (percent).
+inline const std::vector<double>& fig7_cr_grid() {
+  static const std::vector<double> grid = {50.0, 56.0, 62.0, 69.0, 75.0,
+                                           81.0, 88.0, 94.0, 97.0};
+  return grid;
+}
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("# %s\n", experiment);
+  std::printf("# reproduces: %s\n", paper_ref);
+  std::printf("# workload: %zu records x %zu windows (CSECG_RECORDS / "
+              "CSECG_WINDOWS to rescale)\n",
+              records_budget(), windows_budget());
+}
+
+}  // namespace csecg::bench

@@ -1,0 +1,94 @@
+// Microbenchmarks (google-benchmark) for the kernels that dominate
+// end-to-end runtime: the DWT pair, RMPI measurement, the PDHG solve at
+// the paper's operating point, delta-Huffman coding, and the dense gemv
+// that underlies everything.
+#include <benchmark/benchmark.h>
+
+#include "csecg/core/frontend.hpp"
+#include "csecg/dsp/dwt.hpp"
+#include "csecg/ecg/record.hpp"
+#include "csecg/sensing/rmpi.hpp"
+
+namespace {
+
+using namespace csecg;
+
+const ecg::EcgRecord& bench_record() {
+  static const ecg::EcgRecord record = [] {
+    ecg::RecordConfig config;
+    config.duration_seconds = 10.0;
+    return ecg::generate_record(ecg::mitbih_surrogate_profiles()[0], config,
+                                42);
+  }();
+  return record;
+}
+
+void BM_DwtForward(benchmark::State& state) {
+  const dsp::Dwt dwt(dsp::WaveletFamily::kDb4, 512, 5);
+  const linalg::Vector x = bench_record().window(720, 512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwt.forward(x));
+  }
+}
+BENCHMARK(BM_DwtForward);
+
+void BM_DwtInverse(benchmark::State& state) {
+  const dsp::Dwt dwt(dsp::WaveletFamily::kDb4, 512, 5);
+  const linalg::Vector coeffs = dwt.forward(bench_record().window(720, 512));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwt.inverse(coeffs));
+  }
+}
+BENCHMARK(BM_DwtInverse);
+
+void BM_RmpiMeasure(benchmark::State& state) {
+  sensing::RmpiConfig config;
+  config.channels = static_cast<std::size_t>(state.range(0));
+  config.window = 512;
+  const sensing::RmpiSimulator rmpi(config);
+  const linalg::Vector x = bench_record().window(720, 512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rmpi.measure(x));
+  }
+}
+BENCHMARK(BM_RmpiMeasure)->Arg(96)->Arg(240);
+
+void BM_HuffmanRoundtrip(benchmark::State& state) {
+  ecg::RecordConfig record_config;
+  record_config.duration_seconds = 30.0;
+  const ecg::SyntheticDatabase database(record_config, 2015);
+  core::FrontEndConfig config;
+  const auto codec = core::train_lowres_codec(config, database, 4, 4);
+  sensing::LowResConfig lowres_config;
+  const sensing::LowResChannel channel(lowres_config);
+  const auto codes = channel.sample(bench_record().window(720, 512)).codes;
+  for (auto _ : state) {
+    std::size_t bits = 0;
+    const auto payload = codec.encode(codes, bits);
+    benchmark::DoNotOptimize(codec.decode(payload, codes.size()));
+  }
+}
+BENCHMARK(BM_HuffmanRoundtrip);
+
+void BM_HybridDecode(benchmark::State& state) {
+  ecg::RecordConfig record_config;
+  record_config.duration_seconds = 30.0;
+  const ecg::SyntheticDatabase database(record_config, 2015);
+  core::FrontEndConfig config;
+  config.measurements = static_cast<std::size_t>(state.range(0));
+  config.solver.max_iterations = 500;  // Fixed work per solve.
+  config.solver.tol = 1e-12;           // Never stop early.
+  const auto lowres_codec = core::train_lowres_codec(config, database, 4, 2);
+  const core::Codec codec(config, lowres_codec);
+  const core::Frame frame =
+      codec.encoder().encode(bench_record().window(720, 512));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec.decoder().decode(frame, core::DecodeMode::kHybrid));
+  }
+}
+BENCHMARK(BM_HybridDecode)->Arg(96)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Codebook provisioning: the offline half of the paper's §III-B workflow.
+// Trains the low-resolution channel's delta-Huffman codebook for each
+// candidate bit depth, prints the code table, and emits the exact byte
+// image a node would store — reproducing the trade-off study behind the
+// paper's choice of 7 bits (68-byte codebook, 7.86% overhead).
+//
+//   $ ./codebook_provisioning [bits]
+//
+// Default: print the trade-off sweep 3..10 plus the full 7-bit table.
+#include <cstdio>
+#include <cstdlib>
+
+#include "csecg/coding/delta.hpp"
+#include "csecg/core/frontend.hpp"
+#include "csecg/ecg/record.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csecg;
+  const int detail_bits =
+      argc > 1 ? static_cast<int>(std::strtol(argv[1], nullptr, 10)) : 7;
+
+  ecg::RecordConfig record_config;
+  record_config.duration_seconds = 30.0;
+  const ecg::SyntheticDatabase database(record_config, 2015);
+
+  std::printf("bit-depth trade-off (trained on 8 records x 4 windows):\n");
+  std::printf("%5s  %8s  %10s  %12s\n", "bits", "entries", "storage(B)",
+              "bits/sample");
+  for (int bits = 3; bits <= 10; ++bits) {
+    core::FrontEndConfig config;
+    config.lowres_bits = bits;
+    const auto codec = core::train_lowres_codec(config, database);
+    // Average coded size over held-out windows.
+    double total_bits = 0.0;
+    double total_samples = 0.0;
+    for (std::size_t r = 8; r < 12; ++r) {
+      sensing::LowResConfig lowres_config;
+      lowres_config.bits = bits;
+      const sensing::LowResChannel channel(lowres_config);
+      for (const auto& window :
+           ecg::extract_windows(database.record(r), config.window, 2)) {
+        total_bits += static_cast<double>(
+            codec.encoded_bits(channel.sample(window).codes));
+        total_samples += static_cast<double>(window.size());
+      }
+    }
+    std::printf("%5d  %8zu  %10zu  %12.3f\n", bits,
+                codec.codebook().entries().size(),
+                codec.codebook().storage_bytes(),
+                total_bits / total_samples);
+  }
+
+  core::FrontEndConfig config;
+  config.lowres_bits = detail_bits;
+  const auto codec = core::train_lowres_codec(config, database);
+  std::printf("\n%d-bit codebook (escape symbol = %lld):\n", detail_bits,
+              static_cast<long long>(codec.escape_symbol()));
+  std::printf("%8s  %6s  %s\n", "delta", "bits", "canonical code");
+  for (const auto& entry : codec.codebook().entries()) {
+    char code_str[65] = {};
+    for (int b = 0; b < entry.length; ++b) {
+      code_str[b] =
+          ((entry.code >> (entry.length - 1 - b)) & 1u) ? '1' : '0';
+    }
+    std::printf("%8lld  %6d  %s\n", static_cast<long long>(entry.symbol),
+                entry.length, code_str);
+  }
+
+  const auto image = codec.codebook().serialize();
+  std::printf("\nnode storage image (%zu bytes):\n", image.size());
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    std::printf("%02x%s", image[i], (i % 16 == 15) ? "\n" : " ");
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Diagnostic quality under compression: does the reconstructed ECG still
+// support R-peak detection?  Streams a contiguous segment of a record
+// through the codec window-by-window, stitches the reconstruction, runs
+// the same Pan–Tompkins-style detector on original and reconstruction,
+// and scores both against the synthesizer's ground-truth beats — the
+// "diagnostic quality" the paper's §IV metric stands in for.
+//
+//   $ ./diagnostic_quality [cr_percent] [seconds]
+//
+// Defaults: CR = 88%, 40 s of record 208 (heavy PVC burden — the hard
+// case for morphology preservation).
+#include <cstdio>
+#include <cstdlib>
+
+#include "csecg/core/frontend.hpp"
+#include "csecg/ecg/qrs.hpp"
+
+namespace {
+
+using namespace csecg;
+
+linalg::Vector stitch_decode(const core::Codec& codec,
+                             const ecg::EcgRecord& record, std::size_t start,
+                             std::size_t window_count,
+                             core::DecodeMode mode) {
+  const std::size_t n = codec.config().window;
+  linalg::Vector out(window_count * n);
+  for (std::size_t w = 0; w < window_count; ++w) {
+    const linalg::Vector window = record.window(start + w * n, n);
+    const core::DecodeResult decoded =
+        codec.decoder().decode(codec.encoder().encode(window), mode);
+    for (std::size_t i = 0; i < n; ++i) out[w * n + i] = decoded.x[i];
+  }
+  return out;
+}
+
+void report(const char* label, const linalg::Vector& signal,
+            const std::vector<std::size_t>& reference, double fs_hz) {
+  ecg::QrsDetectorConfig detector;
+  detector.fs_hz = fs_hz;
+  const auto detected = ecg::detect_qrs(signal, detector);
+  const auto tolerance = static_cast<std::size_t>(0.05 * fs_hz);  // ±50 ms.
+  const auto stats = ecg::match_beats(detected, reference, tolerance);
+  std::printf("  %-14s: %3zu detections | Se %.3f  PPV %.3f  F1 %.3f  "
+              "jitter %.1f samples\n",
+              label, detected.size(), stats.sensitivity, stats.ppv, stats.f1,
+              stats.mean_jitter_samples);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double cr = argc > 1 ? std::strtod(argv[1], nullptr) : 88.0;
+  const double seconds = argc > 2 ? std::strtod(argv[2], nullptr) : 40.0;
+
+  ecg::RecordConfig record_config;
+  record_config.duration_seconds = seconds + 5.0;
+  const ecg::SyntheticDatabase database(record_config, 2015);
+  // Record "208": one of the heavy-ectopy surrogates.
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < database.size(); ++i) {
+    if (database.name(i) == "208") index = i;
+  }
+  const ecg::EcgRecord& record = database.record(index);
+
+  core::FrontEndConfig config;
+  config.measurements = config.measurements_for_cr(cr);
+  const auto lowres_codec = core::train_lowres_codec(config, database);
+  const core::Codec codec(config, lowres_codec);
+
+  const std::size_t start = 360;  // Skip the first second.
+  const auto window_count = static_cast<std::size_t>(
+      seconds * record.config.fs_hz / static_cast<double>(config.window));
+  const std::size_t total = window_count * config.window;
+  const linalg::Vector original = record.window(start, total);
+  const auto reference =
+      ecg::annotations_in_window(record.beats, start, total);
+
+  std::printf("record %s, %.0f s (%zu ground-truth beats), CS CR %.1f%% "
+              "(m=%zu)\n",
+              record.name.c_str(), seconds, reference.size(), cr,
+              config.measurements);
+
+  report("original", original, reference, record.config.fs_hz);
+  const linalg::Vector hybrid = stitch_decode(codec, record, start,
+                                              window_count,
+                                              core::DecodeMode::kHybrid);
+  report("hybrid CS", hybrid, reference, record.config.fs_hz);
+  const linalg::Vector normal = stitch_decode(codec, record, start,
+                                              window_count,
+                                              core::DecodeMode::kNormalCs);
+  report("normal CS", normal, reference, record.config.fs_hz);
+
+  std::printf("\nInterpretation: at high CR the hybrid reconstruction keeps "
+              "R peaks detectable (F1 ~ original);\nnormal CS loses "
+              "morphology first, so its F1 collapses with the SNR.\n");
+  return 0;
+}

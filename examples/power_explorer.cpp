@@ -1,0 +1,97 @@
+// Power explorer: the paper's §VI analysis as an interactive tool.  Given
+// a target reconstruction SNR, search the smallest channel count m that
+// reaches it for the hybrid and the normal front-end, then price both
+// designs with the analytical 90 nm power models and report the savings.
+//
+//   $ ./power_explorer [target-snr-db] [records]
+//
+// Defaults: 17 dB (the paper's 11× operating point), 4 records.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "csecg/core/frontend.hpp"
+#include "csecg/core/runner.hpp"
+#include "csecg/power/models.hpp"
+
+namespace {
+
+double mean_snr_at(const csecg::core::FrontEndConfig& base, std::size_t m,
+                   const csecg::coding::DeltaHuffmanCodec& codec,
+                   const csecg::ecg::SyntheticDatabase& database,
+                   std::size_t records, csecg::core::DecodeMode mode) {
+  csecg::core::FrontEndConfig config = base;
+  config.measurements = m;
+  const csecg::core::Codec front_end(config, codec);
+  const auto reports =
+      csecg::core::run_database(front_end, database, records, 1, mode);
+  return csecg::core::averaged_snr(reports);
+}
+
+/// Smallest m on a coarse-to-fine grid reaching the target SNR.
+std::size_t min_measurements(const csecg::core::FrontEndConfig& base,
+                             double target_snr,
+                             const csecg::coding::DeltaHuffmanCodec& codec,
+                             const csecg::ecg::SyntheticDatabase& database,
+                             std::size_t records,
+                             csecg::core::DecodeMode mode) {
+  const std::vector<std::size_t> grid = {16,  24,  32,  48,  64,  96,
+                                         128, 160, 192, 240, 320, 448};
+  for (std::size_t m : grid) {
+    const double snr =
+        mean_snr_at(base, m, codec, database, records, mode);
+    std::printf("    m=%4zu -> %.2f dB\n", m, snr);
+    if (snr >= target_snr) return m;
+  }
+  return base.window;  // Even Nyquist-count channels didn't reach it.
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csecg;
+  const double target = argc > 1 ? std::strtod(argv[1], nullptr) : 17.0;
+  const std::size_t records =
+      argc > 2 ? static_cast<std::size_t>(std::strtol(argv[2], nullptr, 10))
+               : 4;
+
+  ecg::RecordConfig record_config;
+  record_config.duration_seconds = 30.0;
+  const ecg::SyntheticDatabase database(record_config, 2015);
+  core::FrontEndConfig config;
+  const auto codec = core::train_lowres_codec(config, database);
+
+  std::printf("searching smallest m reaching %.1f dB over %zu records\n",
+              target, records);
+  std::printf("  hybrid CS:\n");
+  const std::size_t m_hybrid = min_measurements(
+      config, target, codec, database, records, core::DecodeMode::kHybrid);
+  std::printf("  normal CS:\n");
+  const std::size_t m_normal = min_measurements(
+      config, target, codec, database, records, core::DecodeMode::kNormalCs);
+
+  power::TechnologyParams tech;
+  power::RmpiDesign normal_design;
+  normal_design.channels = m_normal;
+  normal_design.window = config.window;
+  power::HybridDesign hybrid_design;
+  hybrid_design.cs_path = normal_design;
+  hybrid_design.cs_path.channels = m_hybrid;
+  hybrid_design.lowres_bits = config.lowres_bits;
+
+  const auto p_normal = power::rmpi_power(normal_design, tech);
+  const auto p_hybrid = power::hybrid_power(hybrid_design, tech);
+
+  std::printf("\ndesign points @ %.1f dB target:\n", target);
+  std::printf("  normal CS : m=%4zu  P=%10.3f uW (amp %.3f, int %.3f, adc "
+              "%.3f)\n",
+              m_normal, p_normal.total() * 1e6, p_normal.amplifier * 1e6,
+              p_normal.integrator * 1e6, p_normal.adc * 1e6);
+  std::printf("  hybrid CS : m=%4zu  P=%10.3f uW (CS path %.3f + low-res ADC "
+              "%.5f)\n",
+              m_hybrid, p_hybrid.total() * 1e6, p_hybrid.cs.total() * 1e6,
+              p_hybrid.lowres_adc * 1e6);
+  std::printf("  power reduction: %.1fx\n",
+              p_normal.total() / p_hybrid.total());
+  return 0;
+}

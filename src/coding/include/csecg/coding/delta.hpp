@@ -1,0 +1,38 @@
+// Delta coding of the low-resolution channel (paper §III-B).
+//
+// Consecutive low-resolution codes are highly redundant, so the encoder
+// transmits the first code raw and the differences thereafter; the
+// difference distribution is sharply peaked at zero (Fig. 4), which is
+// what the Huffman stage exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace csecg::coding {
+
+/// Delta-encoded window: the raw first value plus consecutive differences
+/// (diffs[i] = codes[i+1] − codes[i]).
+struct DeltaEncoded {
+  std::int64_t first = 0;
+  std::vector<std::int64_t> diffs;
+};
+
+/// Delta-encodes a code sequence.  Throws std::invalid_argument on an
+/// empty input.
+DeltaEncoded delta_encode(const std::vector<std::int64_t>& codes);
+
+/// Inverts delta_encode.
+std::vector<std::int64_t> delta_decode(const DeltaEncoded& encoded);
+
+/// Histogram of values (for codebook training and the Fig. 4 PDF).
+/// Returned as sorted (value, count) pairs.
+std::vector<std::pair<std::int64_t, std::uint64_t>> histogram(
+    const std::vector<std::int64_t>& values);
+
+/// Shannon entropy in bits/symbol of a histogram.  Returns 0 for empty or
+/// single-symbol histograms.
+double entropy_bits(
+    const std::vector<std::pair<std::int64_t, std::uint64_t>>& hist);
+
+}  // namespace csecg::coding

@@ -1,0 +1,59 @@
+// The low-resolution channel's transmission codec (paper §III-B).
+//
+// Per window: the first B-bit code is sent raw, every following sample as
+// the Huffman code of its delta.  Deltas absent from the offline-trained
+// codebook are escape-coded: the reserved escape symbol followed by the
+// raw delta in (B+1)-bit two's complement.  The codebook is trained once
+// over a training corpus (offline, as in the paper) and stored on the
+// node; storage_bytes() of the embedded codebook is the Fig. 5 metric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csecg/coding/huffman.hpp"
+
+namespace csecg::coding {
+
+/// Offline-trained delta-Huffman codec for B-bit low-resolution codes.
+class DeltaHuffmanCodec {
+ public:
+  /// Trains a codebook from windows of raw low-resolution codes.
+  /// `code_bits` is the channel resolution B (1..16).  Throws
+  /// std::invalid_argument if the corpus is empty or codes exceed B bits.
+  static DeltaHuffmanCodec train(
+      const std::vector<std::vector<std::int64_t>>& training_windows,
+      int code_bits);
+
+  /// Reconstructs a codec from a serialized codebook (node provisioning).
+  DeltaHuffmanCodec(HuffmanCodebook codebook, int code_bits);
+
+  int code_bits() const noexcept { return code_bits_; }
+  const HuffmanCodebook& codebook() const noexcept { return codebook_; }
+
+  /// The reserved escape symbol: 2^B (outside the legal delta alphabet of
+  /// a B-bit channel only in magnitude-coded form; legal deltas span
+  /// (−2^B, 2^B)).
+  std::int64_t escape_symbol() const noexcept;
+
+  /// Encodes one window of codes.  Returns the payload bytes and reports
+  /// the exact bit count (before byte padding) via `bits_out`.
+  std::vector<std::uint8_t> encode(const std::vector<std::int64_t>& codes,
+                                   std::size_t& bits_out) const;
+
+  /// Exact encoded size in bits without materializing the payload.
+  std::size_t encoded_bits(const std::vector<std::int64_t>& codes) const;
+
+  /// Decodes a payload back to `count` codes.  Throws std::out_of_range /
+  /// std::invalid_argument on malformed payloads.
+  std::vector<std::int64_t> decode(const std::vector<std::uint8_t>& payload,
+                                   std::size_t count) const;
+
+ private:
+  void check_codes(const std::vector<std::int64_t>& codes) const;
+
+  HuffmanCodebook codebook_;
+  int code_bits_;
+};
+
+}  // namespace csecg::coding

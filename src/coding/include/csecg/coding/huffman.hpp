@@ -1,0 +1,80 @@
+// Canonical Huffman coding with an offline-trained codebook.
+//
+// The paper stores an offline-generated codebook on the sensor node
+// (Fig. 5 quantifies its size) and Huffman-codes the delta stream of the
+// low-resolution channel with it.  Canonical codes are used so the stored
+// codebook is just (symbol, length) pairs — lengths determine the codes —
+// which is what makes the 68-byte footprint of the 7-bit codebook
+// possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csecg/coding/bitstream.hpp"
+
+namespace csecg::coding {
+
+/// A canonical Huffman codebook over int64 symbols.
+class HuffmanCodebook {
+ public:
+  /// One canonical entry.
+  struct Entry {
+    std::int64_t symbol = 0;
+    int length = 0;          ///< Code length in bits.
+    std::uint64_t code = 0;  ///< Canonical code (MSB-first).
+  };
+
+  /// Builds an optimal prefix code from a histogram of (symbol, count)
+  /// pairs (counts must be positive; at least one symbol).  A
+  /// single-symbol alphabet gets a 1-bit code.
+  static HuffmanCodebook build(
+      const std::vector<std::pair<std::int64_t, std::uint64_t>>& histogram);
+
+  /// Entries in canonical order (sorted by length, then symbol).
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  /// True if the symbol is in the codebook.
+  bool contains(std::int64_t symbol) const noexcept;
+
+  /// Writes the symbol's code.  Throws std::invalid_argument for symbols
+  /// outside the codebook (callers escape-code those).
+  void encode(std::int64_t symbol, BitWriter& writer) const;
+
+  /// Code length of a symbol in bits; throws if absent.
+  int code_length(std::int64_t symbol) const;
+
+  /// Decodes one symbol from the reader.  Throws std::out_of_range when
+  /// the stream ends mid-code.
+  std::int64_t decode(BitReader& reader) const;
+
+  /// Expected code length (bits/symbol) under a usage histogram.  Symbols
+  /// absent from the codebook contribute `escape_bits` each.
+  double expected_bits_per_symbol(
+      const std::vector<std::pair<std::int64_t, std::uint64_t>>& histogram,
+      double escape_bits) const;
+
+  /// On-node storage footprint in bytes of the canonical serialization
+  /// (the Fig. 5 metric): 2-byte header + one byte per populated code
+  /// length + each symbol at the narrowest width holding the alphabet.
+  std::size_t storage_bytes() const noexcept;
+
+  /// Serializes to the canonical byte layout (matching storage_bytes()).
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Reconstructs a codebook from serialize() output.  Throws
+  /// std::invalid_argument on malformed input.
+  static HuffmanCodebook deserialize(const std::vector<std::uint8_t>& bytes);
+
+ private:
+  void rebuild_decode_tables();
+
+  std::vector<Entry> entries_;  // Canonical order.
+  // Per-length decode acceleration (index = length).
+  std::vector<std::uint64_t> first_code_;
+  std::vector<std::size_t> first_index_;
+  std::vector<std::size_t> count_;
+  int max_length_ = 0;
+};
+
+}  // namespace csecg::coding

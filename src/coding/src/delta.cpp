@@ -1,0 +1,52 @@
+#include "csecg/coding/delta.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::coding {
+
+DeltaEncoded delta_encode(const std::vector<std::int64_t>& codes) {
+  CSECG_CHECK(!codes.empty(), "delta_encode: empty input");
+  DeltaEncoded out;
+  out.first = codes.front();
+  out.diffs.reserve(codes.size() - 1);
+  for (std::size_t i = 1; i < codes.size(); ++i) {
+    out.diffs.push_back(codes[i] - codes[i - 1]);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> delta_decode(const DeltaEncoded& encoded) {
+  std::vector<std::int64_t> out;
+  out.reserve(encoded.diffs.size() + 1);
+  out.push_back(encoded.first);
+  for (std::int64_t diff : encoded.diffs) {
+    out.push_back(out.back() + diff);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>> histogram(
+    const std::vector<std::int64_t>& values) {
+  std::map<std::int64_t, std::uint64_t> counts;
+  for (std::int64_t v : values) ++counts[v];
+  return {counts.begin(), counts.end()};
+}
+
+double entropy_bits(
+    const std::vector<std::pair<std::int64_t, std::uint64_t>>& hist) {
+  std::uint64_t total = 0;
+  for (const auto& [value, count] : hist) total += count;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [value, count] : hist) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace csecg::coding

@@ -1,0 +1,121 @@
+#include "csecg/coding/delta_huffman_codec.hpp"
+
+#include <map>
+
+#include "csecg/coding/delta.hpp"
+#include "csecg/common/check.hpp"
+
+namespace csecg::coding {
+
+DeltaHuffmanCodec::DeltaHuffmanCodec(HuffmanCodebook codebook, int code_bits)
+    : codebook_(std::move(codebook)), code_bits_(code_bits) {
+  CSECG_CHECK(code_bits_ >= 1 && code_bits_ <= 16,
+              "DeltaHuffmanCodec: code_bits out of range: " << code_bits_);
+  CSECG_CHECK(codebook_.contains(escape_symbol()),
+              "DeltaHuffmanCodec: codebook lacks the escape symbol");
+}
+
+std::int64_t DeltaHuffmanCodec::escape_symbol() const noexcept {
+  return std::int64_t{1} << code_bits_;
+}
+
+DeltaHuffmanCodec DeltaHuffmanCodec::train(
+    const std::vector<std::vector<std::int64_t>>& training_windows,
+    int code_bits) {
+  CSECG_CHECK(code_bits >= 1 && code_bits <= 16,
+              "DeltaHuffmanCodec::train: code_bits out of range: "
+                  << code_bits);
+  CSECG_CHECK(!training_windows.empty(),
+              "DeltaHuffmanCodec::train: empty corpus");
+  const std::int64_t max_code = (std::int64_t{1} << code_bits) - 1;
+  std::map<std::int64_t, std::uint64_t> counts;
+  for (const auto& window : training_windows) {
+    CSECG_CHECK(!window.empty(),
+                "DeltaHuffmanCodec::train: empty training window");
+    for (std::int64_t code : window) {
+      CSECG_CHECK(code >= 0 && code <= max_code,
+                  "DeltaHuffmanCodec::train: code " << code
+                                                    << " exceeds " << code_bits
+                                                    << " bits");
+    }
+    const DeltaEncoded enc = delta_encode(window);
+    for (std::int64_t diff : enc.diffs) ++counts[diff];
+  }
+  // Reserve the escape with a single count so rare unseen deltas stay
+  // representable without distorting the learned distribution.
+  const std::int64_t escape = std::int64_t{1} << code_bits;
+  counts[escape] += 1;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> hist(counts.begin(),
+                                                           counts.end());
+  return DeltaHuffmanCodec(HuffmanCodebook::build(hist), code_bits);
+}
+
+void DeltaHuffmanCodec::check_codes(
+    const std::vector<std::int64_t>& codes) const {
+  CSECG_CHECK(!codes.empty(), "DeltaHuffmanCodec: empty window");
+  const std::int64_t max_code = (std::int64_t{1} << code_bits_) - 1;
+  for (std::int64_t code : codes) {
+    CSECG_CHECK(code >= 0 && code <= max_code,
+                "DeltaHuffmanCodec: code " << code << " exceeds "
+                                           << code_bits_ << " bits");
+  }
+}
+
+std::vector<std::uint8_t> DeltaHuffmanCodec::encode(
+    const std::vector<std::int64_t>& codes, std::size_t& bits_out) const {
+  check_codes(codes);
+  BitWriter writer;
+  const DeltaEncoded enc = delta_encode(codes);
+  writer.write(static_cast<std::uint64_t>(enc.first), code_bits_);
+  const int raw_bits = code_bits_ + 1;
+  const std::uint64_t raw_mask = (std::uint64_t{1} << raw_bits) - 1;
+  for (std::int64_t diff : enc.diffs) {
+    if (codebook_.contains(diff)) {
+      codebook_.encode(diff, writer);
+    } else {
+      codebook_.encode(escape_symbol(), writer);
+      writer.write(static_cast<std::uint64_t>(diff) & raw_mask, raw_bits);
+    }
+  }
+  bits_out = writer.bit_count();
+  return writer.finish();
+}
+
+std::size_t DeltaHuffmanCodec::encoded_bits(
+    const std::vector<std::int64_t>& codes) const {
+  check_codes(codes);
+  const DeltaEncoded enc = delta_encode(codes);
+  std::size_t bits = static_cast<std::size_t>(code_bits_);
+  const int escape_cost =
+      codebook_.code_length(escape_symbol()) + code_bits_ + 1;
+  for (std::int64_t diff : enc.diffs) {
+    bits += codebook_.contains(diff)
+                ? static_cast<std::size_t>(codebook_.code_length(diff))
+                : static_cast<std::size_t>(escape_cost);
+  }
+  return bits;
+}
+
+std::vector<std::int64_t> DeltaHuffmanCodec::decode(
+    const std::vector<std::uint8_t>& payload, std::size_t count) const {
+  CSECG_CHECK(count > 0, "DeltaHuffmanCodec::decode: count must be > 0");
+  BitReader reader(payload);
+  DeltaEncoded enc;
+  enc.first = static_cast<std::int64_t>(reader.read(code_bits_));
+  enc.diffs.reserve(count - 1);
+  const int raw_bits = code_bits_ + 1;
+  for (std::size_t i = 1; i < count; ++i) {
+    std::int64_t symbol = codebook_.decode(reader);
+    if (symbol == escape_symbol()) {
+      std::uint64_t raw = reader.read(raw_bits);
+      // Sign-extend from raw_bits.
+      const std::uint64_t sign_bit = std::uint64_t{1} << (raw_bits - 1);
+      if (raw & sign_bit) raw |= ~((std::uint64_t{1} << raw_bits) - 1);
+      symbol = static_cast<std::int64_t>(raw);
+    }
+    enc.diffs.push_back(symbol);
+  }
+  return delta_decode(enc);
+}
+
+}  // namespace csecg::coding

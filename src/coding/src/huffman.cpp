@@ -1,0 +1,275 @@
+#include "csecg/coding/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::coding {
+namespace {
+
+/// Computes optimal code lengths via the standard two-queue Huffman
+/// construction (counts pre-sorted), which is O(n log n) overall and
+/// deterministic under ties.
+std::vector<int> code_lengths(const std::vector<std::uint64_t>& counts) {
+  const std::size_t n = counts.size();
+  if (n == 1) return {1};
+  // Nodes 0..n-1 are leaves; internal nodes are appended as pairs merge.
+  struct Children {
+    int left = -1;
+    int right = -1;
+  };
+  std::vector<Children> children(n);
+  using HeapItem = std::pair<std::uint64_t, int>;  // (weight, node index).
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (std::size_t i = 0; i < n; ++i) {
+    heap.emplace(counts[i], static_cast<int>(i));
+  }
+  while (heap.size() > 1) {
+    const auto [w1, i1] = heap.top();
+    heap.pop();
+    const auto [w2, i2] = heap.top();
+    heap.pop();
+    children.push_back({i1, i2});
+    heap.emplace(w1 + w2, static_cast<int>(children.size()) - 1);
+  }
+  // Depth-first traversal assigning depths to leaves.
+  std::vector<int> lengths(n, 0);
+  std::vector<std::pair<int, int>> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (node < static_cast<int>(n)) {
+      lengths[static_cast<std::size_t>(node)] = std::max(depth, 1);
+      continue;
+    }
+    const Children& c = children[static_cast<std::size_t>(node)];
+    stack.emplace_back(c.left, depth + 1);
+    stack.emplace_back(c.right, depth + 1);
+  }
+  return lengths;
+}
+
+}  // namespace
+
+HuffmanCodebook HuffmanCodebook::build(
+    const std::vector<std::pair<std::int64_t, std::uint64_t>>& histogram) {
+  CSECG_CHECK(!histogram.empty(), "HuffmanCodebook::build: empty histogram");
+  for (const auto& [symbol, count] : histogram) {
+    CSECG_CHECK(count > 0, "HuffmanCodebook::build: zero count for symbol "
+                               << symbol);
+  }
+  // Unique symbols required.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> hist = histogram;
+  std::sort(hist.begin(), hist.end());
+  for (std::size_t i = 1; i < hist.size(); ++i) {
+    CSECG_CHECK(hist[i].first != hist[i - 1].first,
+                "HuffmanCodebook::build: duplicate symbol "
+                    << hist[i].first);
+  }
+
+  std::vector<std::uint64_t> counts(hist.size());
+  for (std::size_t i = 0; i < hist.size(); ++i) counts[i] = hist[i].second;
+  const std::vector<int> lengths = code_lengths(counts);
+
+  HuffmanCodebook book;
+  book.entries_.resize(hist.size());
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    book.entries_[i].symbol = hist[i].first;
+    book.entries_[i].length = lengths[i];
+  }
+  // Canonical order: by (length, symbol).
+  std::sort(book.entries_.begin(), book.entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.length != b.length ? a.length < b.length
+                                          : a.symbol < b.symbol;
+            });
+  // Canonical code assignment.
+  std::uint64_t code = 0;
+  int prev_length = book.entries_.front().length;
+  for (auto& entry : book.entries_) {
+    code <<= (entry.length - prev_length);
+    entry.code = code;
+    ++code;
+    prev_length = entry.length;
+  }
+  book.rebuild_decode_tables();
+  return book;
+}
+
+void HuffmanCodebook::rebuild_decode_tables() {
+  max_length_ = 0;
+  for (const Entry& e : entries_) max_length_ = std::max(max_length_, e.length);
+  first_code_.assign(static_cast<std::size_t>(max_length_) + 1, 0);
+  first_index_.assign(static_cast<std::size_t>(max_length_) + 1, 0);
+  count_.assign(static_cast<std::size_t>(max_length_) + 1, 0);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto len = static_cast<std::size_t>(entries_[i].length);
+    if (count_[len] == 0) {
+      first_code_[len] = entries_[i].code;
+      first_index_[len] = i;
+    }
+    ++count_[len];
+  }
+}
+
+bool HuffmanCodebook::contains(std::int64_t symbol) const noexcept {
+  for (const Entry& e : entries_) {
+    if (e.symbol == symbol) return true;
+  }
+  return false;
+}
+
+void HuffmanCodebook::encode(std::int64_t symbol, BitWriter& writer) const {
+  for (const Entry& e : entries_) {
+    if (e.symbol == symbol) {
+      writer.write(e.code, e.length);
+      return;
+    }
+  }
+  throw std::invalid_argument("HuffmanCodebook::encode: symbol " +
+                              std::to_string(symbol) + " not in codebook");
+}
+
+int HuffmanCodebook::code_length(std::int64_t symbol) const {
+  for (const Entry& e : entries_) {
+    if (e.symbol == symbol) return e.length;
+  }
+  throw std::invalid_argument("HuffmanCodebook::code_length: symbol " +
+                              std::to_string(symbol) + " not in codebook");
+}
+
+std::int64_t HuffmanCodebook::decode(BitReader& reader) const {
+  std::uint64_t code = 0;
+  for (int len = 1; len <= max_length_; ++len) {
+    code = (code << 1) | static_cast<std::uint64_t>(reader.read_bit());
+    const auto l = static_cast<std::size_t>(len);
+    if (count_[l] > 0 && code >= first_code_[l] &&
+        code < first_code_[l] + count_[l]) {
+      return entries_[first_index_[l] + (code - first_code_[l])].symbol;
+    }
+  }
+  throw std::out_of_range("HuffmanCodebook::decode: invalid code");
+}
+
+double HuffmanCodebook::expected_bits_per_symbol(
+    const std::vector<std::pair<std::int64_t, std::uint64_t>>& histogram,
+    double escape_bits) const {
+  std::uint64_t total = 0;
+  double bits = 0.0;
+  for (const auto& [symbol, count] : histogram) {
+    total += count;
+    bool found = false;
+    for (const Entry& e : entries_) {
+      if (e.symbol == symbol) {
+        bits += static_cast<double>(count) * e.length;
+        found = true;
+        break;
+      }
+    }
+    if (!found) bits += static_cast<double>(count) * escape_bits;
+  }
+  CSECG_CHECK(total > 0, "expected_bits_per_symbol: empty histogram");
+  return bits / static_cast<double>(total);
+}
+
+std::size_t HuffmanCodebook::storage_bytes() const noexcept {
+  // Header: symbol width (1 byte) + max length (1 byte).
+  // Body: count-per-length table (max_length bytes) + symbols.
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  for (const Entry& e : entries_) {
+    lo = std::min(lo, e.symbol);
+    hi = std::max(hi, e.symbol);
+  }
+  const std::size_t symbol_bytes =
+      (lo >= -128 && hi <= 127) ? 1 : (lo >= -32768 && hi <= 32767) ? 2 : 4;
+  return 2 + static_cast<std::size_t>(max_length_) +
+         entries_.size() * symbol_bytes;
+}
+
+std::vector<std::uint8_t> HuffmanCodebook::serialize() const {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  for (const Entry& e : entries_) {
+    lo = std::min(lo, e.symbol);
+    hi = std::max(hi, e.symbol);
+  }
+  const std::uint8_t symbol_bytes =
+      (lo >= -128 && hi <= 127) ? 1 : (lo >= -32768 && hi <= 32767) ? 2 : 4;
+  std::vector<std::uint8_t> out;
+  out.push_back(symbol_bytes);
+  out.push_back(static_cast<std::uint8_t>(max_length_));
+  for (int len = 1; len <= max_length_; ++len) {
+    out.push_back(
+        static_cast<std::uint8_t>(count_[static_cast<std::size_t>(len)]));
+  }
+  for (const Entry& e : entries_) {
+    const auto u = static_cast<std::uint64_t>(e.symbol);
+    for (int b = 0; b < symbol_bytes; ++b) {
+      out.push_back(static_cast<std::uint8_t>(u >> (8 * b)));
+    }
+  }
+  return out;
+}
+
+HuffmanCodebook HuffmanCodebook::deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  CSECG_CHECK(bytes.size() >= 2, "HuffmanCodebook::deserialize: truncated");
+  const std::uint8_t symbol_bytes = bytes[0];
+  CSECG_CHECK(symbol_bytes == 1 || symbol_bytes == 2 || symbol_bytes == 4,
+              "HuffmanCodebook::deserialize: bad symbol width "
+                  << int{symbol_bytes});
+  const int max_length = bytes[1];
+  CSECG_CHECK(max_length >= 1,
+              "HuffmanCodebook::deserialize: bad max length");
+  CSECG_CHECK(bytes.size() >= 2 + static_cast<std::size_t>(max_length),
+              "HuffmanCodebook::deserialize: truncated length table");
+  std::size_t total_symbols = 0;
+  for (int len = 1; len <= max_length; ++len) {
+    total_symbols += bytes[1 + static_cast<std::size_t>(len)];
+  }
+  const std::size_t body_start = 2 + static_cast<std::size_t>(max_length);
+  CSECG_CHECK(bytes.size() == body_start + total_symbols * symbol_bytes,
+              "HuffmanCodebook::deserialize: size mismatch");
+
+  HuffmanCodebook book;
+  book.entries_.reserve(total_symbols);
+  std::size_t offset = body_start;
+  for (int len = 1; len <= max_length; ++len) {
+    const std::size_t count = bytes[1 + static_cast<std::size_t>(len)];
+    for (std::size_t k = 0; k < count; ++k) {
+      std::uint64_t u = 0;
+      for (int b = 0; b < symbol_bytes; ++b) {
+        u |= static_cast<std::uint64_t>(bytes[offset++]) << (8 * b);
+      }
+      // Sign-extend.
+      std::int64_t symbol = 0;
+      if (symbol_bytes == 1) {
+        symbol = static_cast<std::int8_t>(u);
+      } else if (symbol_bytes == 2) {
+        symbol = static_cast<std::int16_t>(u);
+      } else {
+        symbol = static_cast<std::int32_t>(u);
+      }
+      Entry entry;
+      entry.symbol = symbol;
+      entry.length = len;
+      book.entries_.push_back(entry);
+    }
+  }
+  // Reassign canonical codes.
+  std::uint64_t code = 0;
+  int prev_length = book.entries_.front().length;
+  for (auto& entry : book.entries_) {
+    code <<= (entry.length - prev_length);
+    entry.code = code;
+    ++code;
+    prev_length = entry.length;
+  }
+  book.rebuild_decode_tables();
+  return book;
+}
+
+}  // namespace csecg::coding

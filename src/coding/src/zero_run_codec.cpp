@@ -1,0 +1,170 @@
+#include "csecg/coding/zero_run_codec.hpp"
+
+#include <map>
+
+#include "csecg/coding/delta.hpp"
+#include "csecg/common/check.hpp"
+
+namespace csecg::coding {
+
+void elias_gamma_encode(std::uint64_t value, BitWriter& writer) {
+  CSECG_CHECK(value >= 1, "elias_gamma_encode: value must be >= 1");
+  int bits = 0;
+  for (std::uint64_t v = value; v > 1; v >>= 1) ++bits;
+  for (int i = 0; i < bits; ++i) writer.write_bit(false);
+  writer.write(value, bits + 1);
+}
+
+std::uint64_t elias_gamma_decode(BitReader& reader) {
+  int bits = 0;
+  while (!reader.read_bit()) ++bits;
+  std::uint64_t value = 1;
+  for (int i = 0; i < bits; ++i) {
+    value = (value << 1) | static_cast<std::uint64_t>(reader.read_bit());
+  }
+  return value;
+}
+
+int elias_gamma_bits(std::uint64_t value) noexcept {
+  int bits = 0;
+  for (std::uint64_t v = value; v > 1; v >>= 1) ++bits;
+  return 2 * bits + 1;
+}
+
+ZeroRunDeltaCodec::ZeroRunDeltaCodec(HuffmanCodebook codebook, int code_bits)
+    : codebook_(std::move(codebook)), code_bits_(code_bits) {
+  CSECG_CHECK(code_bits_ >= 1 && code_bits_ <= 16,
+              "ZeroRunDeltaCodec: code_bits out of range: " << code_bits_);
+  CSECG_CHECK(codebook_.contains(escape_symbol()),
+              "ZeroRunDeltaCodec: codebook lacks the escape symbol");
+  CSECG_CHECK(codebook_.contains(run_symbol()),
+              "ZeroRunDeltaCodec: codebook lacks the run symbol");
+}
+
+std::int64_t ZeroRunDeltaCodec::escape_symbol() const noexcept {
+  return std::int64_t{1} << code_bits_;
+}
+
+std::int64_t ZeroRunDeltaCodec::run_symbol() const noexcept {
+  return (std::int64_t{1} << code_bits_) + 1;
+}
+
+ZeroRunDeltaCodec ZeroRunDeltaCodec::train(
+    const std::vector<std::vector<std::int64_t>>& training_windows,
+    int code_bits) {
+  CSECG_CHECK(code_bits >= 1 && code_bits <= 16,
+              "ZeroRunDeltaCodec::train: code_bits out of range: "
+                  << code_bits);
+  CSECG_CHECK(!training_windows.empty(),
+              "ZeroRunDeltaCodec::train: empty corpus");
+  const std::int64_t max_code = (std::int64_t{1} << code_bits) - 1;
+  const std::int64_t run = (std::int64_t{1} << code_bits) + 1;
+  std::map<std::int64_t, std::uint64_t> counts;
+  for (const auto& window : training_windows) {
+    CSECG_CHECK(!window.empty(),
+                "ZeroRunDeltaCodec::train: empty training window");
+    for (std::int64_t code : window) {
+      CSECG_CHECK(code >= 0 && code <= max_code,
+                  "ZeroRunDeltaCodec::train: code " << code << " exceeds "
+                                                    << code_bits << " bits");
+    }
+    const DeltaEncoded enc = delta_encode(window);
+    std::size_t i = 0;
+    while (i < enc.diffs.size()) {
+      if (enc.diffs[i] == 0) {
+        ++counts[run];
+        while (i < enc.diffs.size() && enc.diffs[i] == 0) ++i;
+      } else {
+        ++counts[enc.diffs[i]];
+        ++i;
+      }
+    }
+  }
+  counts[std::int64_t{1} << code_bits] += 1;  // Escape reservation.
+  counts[run] += 1;                           // Ensure RUN always present.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> hist(counts.begin(),
+                                                           counts.end());
+  return ZeroRunDeltaCodec(HuffmanCodebook::build(hist), code_bits);
+}
+
+void ZeroRunDeltaCodec::check_codes(
+    const std::vector<std::int64_t>& codes) const {
+  CSECG_CHECK(!codes.empty(), "ZeroRunDeltaCodec: empty window");
+  const std::int64_t max_code = (std::int64_t{1} << code_bits_) - 1;
+  for (std::int64_t code : codes) {
+    CSECG_CHECK(code >= 0 && code <= max_code,
+                "ZeroRunDeltaCodec: code " << code << " exceeds "
+                                           << code_bits_ << " bits");
+  }
+}
+
+std::vector<std::uint8_t> ZeroRunDeltaCodec::encode(
+    const std::vector<std::int64_t>& codes, std::size_t& bits_out) const {
+  check_codes(codes);
+  BitWriter writer;
+  const DeltaEncoded enc = delta_encode(codes);
+  writer.write(static_cast<std::uint64_t>(enc.first), code_bits_);
+  const int raw_bits = code_bits_ + 1;
+  const std::uint64_t raw_mask = (std::uint64_t{1} << raw_bits) - 1;
+  std::size_t i = 0;
+  while (i < enc.diffs.size()) {
+    const std::int64_t diff = enc.diffs[i];
+    if (diff == 0) {
+      std::uint64_t run_length = 0;
+      while (i < enc.diffs.size() && enc.diffs[i] == 0) {
+        ++run_length;
+        ++i;
+      }
+      codebook_.encode(run_symbol(), writer);
+      elias_gamma_encode(run_length, writer);
+    } else {
+      if (codebook_.contains(diff)) {
+        codebook_.encode(diff, writer);
+      } else {
+        codebook_.encode(escape_symbol(), writer);
+        writer.write(static_cast<std::uint64_t>(diff) & raw_mask, raw_bits);
+      }
+      ++i;
+    }
+  }
+  bits_out = writer.bit_count();
+  return writer.finish();
+}
+
+std::size_t ZeroRunDeltaCodec::encoded_bits(
+    const std::vector<std::int64_t>& codes) const {
+  std::size_t bits = 0;
+  const auto payload_unused = encode(codes, bits);
+  (void)payload_unused;
+  return bits;
+}
+
+std::vector<std::int64_t> ZeroRunDeltaCodec::decode(
+    const std::vector<std::uint8_t>& payload, std::size_t count) const {
+  CSECG_CHECK(count > 0, "ZeroRunDeltaCodec::decode: count must be > 0");
+  BitReader reader(payload);
+  DeltaEncoded enc;
+  enc.first = static_cast<std::int64_t>(reader.read(code_bits_));
+  enc.diffs.reserve(count - 1);
+  const int raw_bits = code_bits_ + 1;
+  while (enc.diffs.size() + 1 < count) {
+    std::int64_t symbol = codebook_.decode(reader);
+    if (symbol == run_symbol()) {
+      const std::uint64_t run_length = elias_gamma_decode(reader);
+      CSECG_CHECK(enc.diffs.size() + run_length + 1 <= count,
+                  "ZeroRunDeltaCodec::decode: run overflows the window");
+      for (std::uint64_t k = 0; k < run_length; ++k) enc.diffs.push_back(0);
+      continue;
+    }
+    if (symbol == escape_symbol()) {
+      std::uint64_t raw = reader.read(raw_bits);
+      const std::uint64_t sign_bit = std::uint64_t{1} << (raw_bits - 1);
+      if (raw & sign_bit) raw |= ~((std::uint64_t{1} << raw_bits) - 1);
+      symbol = static_cast<std::int64_t>(raw);
+    }
+    enc.diffs.push_back(symbol);
+  }
+  return delta_decode(enc);
+}
+
+}  // namespace csecg::coding

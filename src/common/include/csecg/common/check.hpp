@@ -1,0 +1,36 @@
+// Argument validation helpers shared by every csecg module.
+//
+// API misuse (bad dimensions, out-of-range parameters) throws
+// std::invalid_argument with a message naming the violated condition; this
+// follows the Core Guidelines I.5/E.intro style of making preconditions
+// checkable at the interface without aborting the host process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace csecg::detail {
+
+[[noreturn]] inline void throw_check_failure(const char* condition,
+                                             const char* file, int line,
+                                             const std::string& message) {
+  std::ostringstream oss;
+  oss << "csecg check failed: " << condition << " at " << file << ':' << line;
+  if (!message.empty()) oss << " — " << message;
+  throw std::invalid_argument(oss.str());
+}
+
+}  // namespace csecg::detail
+
+/// Validates a precondition; throws std::invalid_argument when violated.
+/// `msg` may use stream syntax: CSECG_CHECK(n > 0, "n=" << n).
+#define CSECG_CHECK(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream csecg_check_oss;                               \
+      csecg_check_oss << msg;                                           \
+      ::csecg::detail::throw_check_failure(#cond, __FILE__, __LINE__,   \
+                                           csecg_check_oss.str());      \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,83 @@
+// Adaptive measurement-rate extension.
+//
+// The paper fixes m at design time; a natural extension (its trade-off
+// section invites it) is letting the node pick m per window from signal
+// activity it can observe for free: the low-resolution channel's delta
+// stream.  Quiet diastolic windows compress with few channels; windows
+// dense in QRS complexes or motion artifact get more.  Hardware-wise this
+// is power-gating unused RD channels, so the average analog power scales
+// with the *average* m.
+//
+// Both ends stay synchronized without side information because the chip
+// matrix rows are generated sequentially from the shared seed: the first
+// m rows of the m_max-channel bank equal the m-channel bank, and the
+// frame itself carries how many measurements were sent.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "csecg/core/frontend.hpp"
+
+namespace csecg::core {
+
+/// Controller policy: maps low-res delta activity to a channel count.
+struct AdaptiveRateConfig {
+  std::size_t m_min = 32;
+  std::size_t m_max = 192;
+  /// Activity (fraction of non-zero low-res deltas) mapped linearly onto
+  /// [m_min, m_max] between these two points.
+  double low_activity = 0.05;
+  double high_activity = 0.35;
+};
+
+/// Validates an AdaptiveRateConfig against a front-end config; throws
+/// std::invalid_argument on nonsense (m_min > m_max, m_max > n, ...).
+void validate(const AdaptiveRateConfig& rate, const FrontEndConfig& base);
+
+/// Fraction of non-zero deltas in a low-res code stream (the activity
+/// signal; 0 = flat line, → 1 = busy).
+double delta_activity(const std::vector<std::int64_t>& codes);
+
+/// Channel count for an activity level under a policy.
+std::size_t channels_for_activity(double activity,
+                                  const AdaptiveRateConfig& rate);
+
+/// Encoder+decoder pair with per-window rate adaptation.
+class AdaptiveCodec {
+ public:
+  /// `base` supplies everything but m (its `measurements` is ignored);
+  /// the low-resolution channel must be enabled — it is both the box
+  /// side-information and the activity sensor.
+  AdaptiveCodec(FrontEndConfig base, AdaptiveRateConfig rate,
+                coding::DeltaHuffmanCodec lowres_codec);
+
+  const FrontEndConfig& base_config() const noexcept { return base_; }
+  const AdaptiveRateConfig& rate_config() const noexcept { return rate_; }
+
+  /// Encodes one window with an activity-chosen channel count.
+  Frame encode(const linalg::Vector& window) const;
+
+  /// Channel count the last encode() picked.
+  std::size_t last_channels() const noexcept { return last_m_; }
+
+  /// Decodes any frame whose measurement count is in [m_min, m_max]
+  /// (decoders are built lazily per distinct m and cached).
+  DecodeResult decode(const Frame& frame,
+                      DecodeMode mode = DecodeMode::kAuto) const;
+
+ private:
+  const Encoder& encoder_for(std::size_t m) const;
+  const Decoder& decoder_for(std::size_t m) const;
+
+  FrontEndConfig base_;
+  AdaptiveRateConfig rate_;
+  coding::DeltaHuffmanCodec codec_;
+  sensing::LowResChannel lowres_;
+  mutable std::map<std::size_t, std::unique_ptr<Encoder>> encoders_;
+  mutable std::map<std::size_t, std::unique_ptr<Decoder>> decoders_;
+  mutable std::size_t last_m_ = 0;
+};
+
+}  // namespace csecg::core

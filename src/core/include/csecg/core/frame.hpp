@@ -1,0 +1,64 @@
+// The per-window transmission frame (paper Fig. 1: "collected data from
+// both paths are transmitted at a fixed time window").
+//
+// serialize_frame()/deserialize_frame() define the over-the-air byte
+// layout, so the encoder and decoder can live on different machines:
+//
+//   [magic u16] [window u16] [m u16] [meas_bits u8] [lowres flag u8]
+//   [measurement codes, meas_bits each, MSB-first]
+//   [lowres_bits u32] [lowres payload bytes]
+//
+// Measurements are transported as their ADC codes (the decoder re-derives
+// the reconstruction values from the shared Quantizer), which is what the
+// radio of a real node would send.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csecg/linalg/vector.hpp"
+#include "csecg/sensing/quantizer.hpp"
+
+namespace csecg::core {
+
+/// One window's payload: the CS channel's quantized measurements plus the
+/// delta-Huffman-coded low-resolution stream.
+struct Frame {
+  /// Quantized measurement values y (reconstruction levels of the
+  /// measurement ADC, in input units).
+  linalg::Vector measurements;
+  /// Bits per transmitted measurement (the measurement ADC resolution).
+  int measurement_bits = 0;
+
+  /// Entropy-coded low-resolution payload; empty when the parallel channel
+  /// is disabled.
+  std::vector<std::uint8_t> lowres_payload;
+  /// Exact low-resolution bit count before byte padding.
+  std::size_t lowres_bits = 0;
+
+  /// Window length n the frame describes.
+  std::size_t window = 0;
+
+  /// Air bits spent by the CS channel.
+  std::size_t cs_bits() const noexcept {
+    return measurements.size() * static_cast<std::size_t>(measurement_bits);
+  }
+
+  /// Total air bits of the frame.
+  std::size_t total_bits() const noexcept { return cs_bits() + lowres_bits; }
+};
+
+/// Serializes a frame to the over-the-air byte layout.  `measurement_adc`
+/// must be the CS channel's measurement quantizer (shared design
+/// knowledge); it converts measurement values to codes.  Throws
+/// std::invalid_argument if a measurement is outside the ADC range or the
+/// frame shape exceeds the format's 16-bit fields.
+std::vector<std::uint8_t> serialize_frame(
+    const Frame& frame, const sensing::Quantizer& measurement_adc);
+
+/// Parses a serialized frame.  Throws std::invalid_argument on malformed
+/// or truncated input.
+Frame deserialize_frame(const std::vector<std::uint8_t>& bytes,
+                        const sensing::Quantizer& measurement_adc);
+
+}  // namespace csecg::core

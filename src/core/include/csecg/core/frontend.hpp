@@ -1,0 +1,129 @@
+// The hybrid CS ECG front-end: encoder (sensor node) and decoder
+// (receiver) — the paper's primary contribution, assembled from the
+// substrate libraries.
+//
+// Encoder per window (Fig. 1):
+//   1. AC-couple: subtract the mid-scale DC reference.
+//   2. CS channel: RMPI chip–integrate–dump over the window, quantize each
+//      channel with the measurement ADC → y.
+//   3. Low-resolution channel: B-bit Nyquist-rate ADC on the raw window,
+//      delta + Huffman coded with the offline codebook → payload.
+//
+// Decoder per window:
+//   1. Regenerate Φ from the shared chip seed (leakage-aware).
+//   2. Rebuild the low-resolution staircase ẋ and the per-sample box
+//      [ẋ, ẋ+d].
+//   3. Solve problem (1) by PDHG: min ‖Ψᵀx‖₁ s.t. ‖Φ(x−dc)−y‖ ≤ σ and
+//      ẋ ≤ x ≤ ẋ+d.  Without the box this is the "normal CS" baseline.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "csecg/linalg/solve.hpp"
+
+#include "csecg/coding/delta_huffman_codec.hpp"
+#include "csecg/core/config.hpp"
+#include "csecg/core/frame.hpp"
+#include "csecg/dsp/dwt.hpp"
+#include "csecg/ecg/record.hpp"
+#include "csecg/linalg/operator.hpp"
+#include "csecg/recovery/pdhg.hpp"
+#include "csecg/sensing/lowres_channel.hpp"
+#include "csecg/sensing/rmpi.hpp"
+
+namespace csecg::core {
+
+/// Trains the low-resolution channel's delta-Huffman codebook offline over
+/// windows drawn from database records [0, training_records).  Uses the
+/// config's lowres_bits; throws std::invalid_argument if the channel is
+/// disabled (lowres_bits == 0) or training_records == 0.
+coding::DeltaHuffmanCodec train_lowres_codec(
+    const FrontEndConfig& config, const ecg::SyntheticDatabase& database,
+    std::size_t training_records = 8, std::size_t windows_per_record = 4);
+
+/// The sensor-node side.
+class Encoder {
+ public:
+  /// The codec is required iff the low-resolution channel is enabled.
+  Encoder(FrontEndConfig config,
+          std::optional<coding::DeltaHuffmanCodec> lowres_codec);
+
+  const FrontEndConfig& config() const noexcept { return config_; }
+
+  /// The CS-channel measurement ADC (needed to serialize frames); absent
+  /// only when measurement_adc_bits == 0.
+  const std::optional<sensing::Quantizer>& measurement_adc() const noexcept;
+
+  /// Encodes one raw window (length n, record-unit ADC codes as doubles).
+  Frame encode(const linalg::Vector& window) const;
+
+ private:
+  FrontEndConfig config_;
+  sensing::RmpiSimulator rmpi_;
+  /// Ideal-matrix path for the non-Rademacher ablation ensembles.
+  std::optional<linalg::Matrix> phi_alt_;
+  std::optional<sensing::LowResChannel> lowres_;
+  std::optional<coding::DeltaHuffmanCodec> codec_;
+};
+
+/// How the decoder uses the side channel.
+enum class DecodeMode {
+  kAuto,      ///< Hybrid when the frame carries a low-res payload.
+  kHybrid,    ///< Require the box constraint (throws if absent).
+  kNormalCs,  ///< Ignore the side channel (the Fig. 7 "CS" baseline).
+};
+
+/// Decoder output.
+struct DecodeResult {
+  linalg::Vector x;            ///< Reconstructed raw-unit window.
+  recovery::PdhgResult solver;  ///< Convergence diagnostics.
+  bool used_box = false;       ///< True when the hybrid constraint was on.
+};
+
+/// The receiver side.
+class Decoder {
+ public:
+  Decoder(FrontEndConfig config,
+          std::optional<coding::DeltaHuffmanCodec> lowres_codec);
+
+  const FrontEndConfig& config() const noexcept { return config_; }
+
+  /// Reconstructs a window from its frame.
+  DecodeResult decode(const Frame& frame,
+                      DecodeMode mode = DecodeMode::kAuto) const;
+
+ private:
+  FrontEndConfig config_;
+  sensing::RmpiSimulator rmpi_;
+  std::optional<sensing::LowResChannel> lowres_;
+  std::optional<coding::DeltaHuffmanCodec> codec_;
+  dsp::Dwt dwt_;
+  linalg::LinearOperator phi_;
+  /// Cholesky of ΦΦᵀ, cached for the least-norm warm start of the
+  /// unconstrained (normal-CS) solves.
+  std::unique_ptr<linalg::Cholesky> gram_chol_;
+  double phi_norm_ = 0.0;
+  double sigma_ = 0.0;
+};
+
+/// Convenience wrapper owning a matched encoder/decoder pair.
+class Codec {
+ public:
+  Codec(FrontEndConfig config,
+        std::optional<coding::DeltaHuffmanCodec> lowres_codec);
+
+  const FrontEndConfig& config() const noexcept { return encoder_.config(); }
+  const Encoder& encoder() const noexcept { return encoder_; }
+  const Decoder& decoder() const noexcept { return decoder_; }
+
+  /// encode + decode in one call.
+  DecodeResult roundtrip(const linalg::Vector& window,
+                         DecodeMode mode = DecodeMode::kAuto) const;
+
+ private:
+  Encoder encoder_;
+  Decoder decoder_;
+};
+
+}  // namespace csecg::core

@@ -1,0 +1,67 @@
+// Experiment runner: streams records through a codec and aggregates the
+// paper's metrics (PRD/SNR per window, CR and side-channel overhead per
+// record).  The Fig. 7/8 benches and the examples are thin wrappers over
+// these calls.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "csecg/core/frontend.hpp"
+#include "csecg/ecg/record.hpp"
+
+namespace csecg::core {
+
+/// Quality/cost metrics of one decoded window.
+///
+/// Two PRD conventions are reported.  The headline `prd`/`snr` is the
+/// zero-mean variant (reference energy excludes the ~1024-code ADC
+/// baseline): it lands in the paper's 0–25 dB value range and makes the
+/// high-CR collapse of normal CS visible, exactly as in Fig. 7.  The raw
+/// variant (baseline included, the literal §IV formula) is also recorded;
+/// it shifts both methods up by the same baseline-energy factor.
+struct WindowMetrics {
+  double prd = 0.0;       ///< Zero-mean PRD (%) — headline metric.
+  double snr = 0.0;       ///< −20·log10(PRD/100) in dB.
+  double prd_raw = 0.0;   ///< Raw-sample PRD (%).
+  double snr_raw = 0.0;   ///< SNR from raw PRD.
+  std::size_t cs_bits = 0;
+  std::size_t lowres_bits = 0;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Aggregate over one record.
+struct RecordReport {
+  std::string record_name;
+  std::vector<WindowMetrics> windows;
+  double mean_prd = 0.0;
+  double mean_snr = 0.0;
+  double cs_cr_percent = 0.0;       ///< CS-channel CR (config-determined).
+  double overhead_percent = 0.0;    ///< Measured side-channel overhead Dᵢ.
+  double net_cr_percent = 0.0;      ///< cs_cr − overhead.
+};
+
+/// Encodes/decodes `window_count` windows of one record.  Throws
+/// std::invalid_argument if the record is too short.
+RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
+                        std::size_t window_count,
+                        DecodeMode mode = DecodeMode::kAuto);
+
+/// Runs the first `record_count` database records.
+std::vector<RecordReport> run_database(const Codec& codec,
+                                       const ecg::SyntheticDatabase& database,
+                                       std::size_t record_count,
+                                       std::size_t windows_per_record,
+                                       DecodeMode mode = DecodeMode::kAuto);
+
+/// Mean of per-record mean SNRs (the paper's "averaged SNR over records").
+double averaged_snr(const std::vector<RecordReport>& reports);
+
+/// Mean of per-record mean PRDs.
+double averaged_prd(const std::vector<RecordReport>& reports);
+
+/// Per-record mean SNRs, in record order (Fig. 8 box-plot samples).
+std::vector<double> per_record_snr(const std::vector<RecordReport>& reports);
+
+}  // namespace csecg::core

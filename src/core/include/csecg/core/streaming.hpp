@@ -1,0 +1,79 @@
+// Streaming (sample-at-a-time) front-end API.
+//
+// A real sensor node never sees whole windows: the ADC delivers one
+// sample per tick and the radio wants a frame every n samples.
+// StreamingEncoder buffers the incoming samples, emits a Frame per filled
+// window, and StreamingDecoder reassembles the reconstructed signal on
+// the receiver — including the paper's "fixed time window" transmission
+// cadence (Fig. 1) and per-window bookkeeping for duty-cycle analysis.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "csecg/core/frontend.hpp"
+
+namespace csecg::core {
+
+/// Sample-driven wrapper around Encoder.
+class StreamingEncoder {
+ public:
+  /// Same construction contract as Encoder.
+  StreamingEncoder(FrontEndConfig config,
+                   std::optional<coding::DeltaHuffmanCodec> lowres_codec);
+
+  const FrontEndConfig& config() const noexcept { return encoder_.config(); }
+
+  /// Feeds one raw ADC sample.  Returns a frame exactly when this sample
+  /// completes a window, otherwise std::nullopt.
+  std::optional<Frame> push(double sample);
+
+  /// Samples currently buffered toward the next frame.
+  std::size_t pending() const noexcept { return buffer_fill_; }
+
+  /// Frames emitted so far.
+  std::size_t frames_emitted() const noexcept { return frames_emitted_; }
+
+  /// Total air bits emitted so far (for duty-cycle math).
+  std::size_t bits_emitted() const noexcept { return bits_emitted_; }
+
+  /// Discards any partially filled window (e.g. on lead-off).
+  void reset() noexcept;
+
+ private:
+  Encoder encoder_;
+  linalg::Vector buffer_;
+  std::size_t buffer_fill_ = 0;
+  std::size_t frames_emitted_ = 0;
+  std::size_t bits_emitted_ = 0;
+};
+
+/// Frame-driven wrapper around Decoder that reassembles the signal.
+class StreamingDecoder {
+ public:
+  StreamingDecoder(FrontEndConfig config,
+                   std::optional<coding::DeltaHuffmanCodec> lowres_codec,
+                   DecodeMode mode = DecodeMode::kAuto);
+
+  const FrontEndConfig& config() const noexcept { return decoder_.config(); }
+
+  /// Decodes one frame and appends its window to the reconstruction.
+  /// Returns the decoded window.
+  const linalg::Vector& push(const Frame& frame);
+
+  /// Everything reconstructed so far, in sample order.
+  const linalg::Vector& signal() const noexcept { return signal_; }
+
+  /// Windows decoded so far.
+  std::size_t frames_decoded() const noexcept { return frames_decoded_; }
+
+ private:
+  Decoder decoder_;
+  DecodeMode mode_;
+  linalg::Vector signal_;
+  linalg::Vector last_window_;
+  std::size_t frames_decoded_ = 0;
+};
+
+}  // namespace csecg::core

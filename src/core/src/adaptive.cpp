@@ -1,0 +1,101 @@
+#include "csecg/core/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "csecg/coding/delta.hpp"
+#include "csecg/common/check.hpp"
+
+namespace csecg::core {
+
+void validate(const AdaptiveRateConfig& rate, const FrontEndConfig& base) {
+  CSECG_CHECK(rate.m_min >= 1 && rate.m_min <= rate.m_max,
+              "AdaptiveRateConfig: need 1 <= m_min <= m_max");
+  CSECG_CHECK(rate.m_max <= base.window,
+              "AdaptiveRateConfig: m_max " << rate.m_max
+                                           << " exceeds window "
+                                           << base.window);
+  CSECG_CHECK(rate.low_activity >= 0.0 &&
+                  rate.high_activity > rate.low_activity &&
+                  rate.high_activity <= 1.0,
+              "AdaptiveRateConfig: need 0 <= low < high <= 1");
+  CSECG_CHECK(base.lowres_bits > 0,
+              "AdaptiveRateConfig: requires the low-resolution channel "
+              "(it is the activity sensor)");
+}
+
+double delta_activity(const std::vector<std::int64_t>& codes) {
+  CSECG_CHECK(codes.size() >= 2, "delta_activity: need at least 2 codes");
+  const coding::DeltaEncoded enc = coding::delta_encode(codes);
+  std::size_t nonzero = 0;
+  for (std::int64_t diff : enc.diffs) {
+    if (diff != 0) ++nonzero;
+  }
+  return static_cast<double>(nonzero) /
+         static_cast<double>(enc.diffs.size());
+}
+
+std::size_t channels_for_activity(double activity,
+                                  const AdaptiveRateConfig& rate) {
+  const double t = std::clamp(
+      (activity - rate.low_activity) /
+          (rate.high_activity - rate.low_activity),
+      0.0, 1.0);
+  const double m = static_cast<double>(rate.m_min) +
+                   t * static_cast<double>(rate.m_max - rate.m_min);
+  return static_cast<std::size_t>(std::lround(m));
+}
+
+AdaptiveCodec::AdaptiveCodec(FrontEndConfig base, AdaptiveRateConfig rate,
+                             coding::DeltaHuffmanCodec lowres_codec)
+    : base_(std::move(base)),
+      rate_(rate),
+      codec_(std::move(lowres_codec)),
+      lowres_(sensing::LowResConfig{base_.lowres_bits, base_.record_bits}) {
+  validate(base_);
+  validate(rate_, base_);
+}
+
+const Encoder& AdaptiveCodec::encoder_for(std::size_t m) const {
+  auto it = encoders_.find(m);
+  if (it == encoders_.end()) {
+    FrontEndConfig config = base_;
+    config.measurements = m;
+    it = encoders_.emplace(m, std::make_unique<Encoder>(config, codec_))
+             .first;
+  }
+  return *it->second;
+}
+
+const Decoder& AdaptiveCodec::decoder_for(std::size_t m) const {
+  auto it = decoders_.find(m);
+  if (it == decoders_.end()) {
+    FrontEndConfig config = base_;
+    config.measurements = m;
+    it = decoders_.emplace(m, std::make_unique<Decoder>(config, codec_))
+             .first;
+  }
+  return *it->second;
+}
+
+Frame AdaptiveCodec::encode(const linalg::Vector& window) const {
+  CSECG_CHECK(window.size() == base_.window,
+              "AdaptiveCodec::encode: window has "
+                  << window.size() << " samples, expected " << base_.window);
+  const auto lowres_out = lowres_.sample(window);
+  const double activity = delta_activity(lowres_out.codes);
+  last_m_ = channels_for_activity(activity, rate_);
+  return encoder_for(last_m_).encode(window);
+}
+
+DecodeResult AdaptiveCodec::decode(const Frame& frame,
+                                   DecodeMode mode) const {
+  const std::size_t m = frame.measurements.size();
+  CSECG_CHECK(m >= rate_.m_min && m <= rate_.m_max,
+              "AdaptiveCodec::decode: frame carries "
+                  << m << " measurements, outside [" << rate_.m_min << ", "
+                  << rate_.m_max << "]");
+  return decoder_for(m).decode(frame, mode);
+}
+
+}  // namespace csecg::core

@@ -1,0 +1,67 @@
+#include "csecg/core/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "csecg/common/check.hpp"
+#include "csecg/dsp/dwt.hpp"
+
+namespace csecg::core {
+
+double FrontEndConfig::dc_reference() const noexcept {
+  return static_cast<double>(std::int64_t{1} << (record_bits - 1));
+}
+
+double FrontEndConfig::cs_compression_ratio() const noexcept {
+  const double orig =
+      static_cast<double>(window) * static_cast<double>(original_bits);
+  const double comp = static_cast<double>(measurements) *
+                      static_cast<double>(measurement_adc_bits);
+  return (orig - comp) / orig * 100.0;
+}
+
+std::size_t FrontEndConfig::measurements_for_cr(
+    double cr_percent) const noexcept {
+  const double orig =
+      static_cast<double>(window) * static_cast<double>(original_bits);
+  const double comp_bits = orig * (1.0 - cr_percent / 100.0);
+  const double m =
+      std::round(comp_bits / static_cast<double>(measurement_adc_bits));
+  return static_cast<std::size_t>(
+      std::clamp(m, 1.0, static_cast<double>(window)));
+}
+
+void validate(const FrontEndConfig& config) {
+  CSECG_CHECK(config.window > 0, "FrontEndConfig: window must be positive");
+  CSECG_CHECK(config.measurements > 0 &&
+                  config.measurements <= config.window,
+              "FrontEndConfig: need 0 < m <= n, got m="
+                  << config.measurements << ", n=" << config.window);
+  CSECG_CHECK(config.measurement_adc_bits >= 1 &&
+                  config.measurement_adc_bits <= 24,
+              "FrontEndConfig: measurement_adc_bits out of range");
+  CSECG_CHECK(config.lowres_bits >= 0 &&
+                  config.lowres_bits <= config.record_bits,
+              "FrontEndConfig: lowres_bits must be in [0, record_bits]");
+  CSECG_CHECK(config.record_bits >= 2 && config.record_bits <= 24,
+              "FrontEndConfig: record_bits out of range");
+  CSECG_CHECK(config.original_bits >= config.record_bits,
+              "FrontEndConfig: original_bits below record resolution");
+  CSECG_CHECK(config.wavelet_levels >= 1, "FrontEndConfig: need >= 1 level");
+  CSECG_CHECK(config.wavelet_levels <= dsp::Dwt::max_levels(config.window),
+              "FrontEndConfig: window " << config.window
+                                        << " not divisible by 2^"
+                                        << config.wavelet_levels);
+  CSECG_CHECK(config.sigma_scale >= 0.0,
+              "FrontEndConfig: sigma_scale must be non-negative");
+  CSECG_CHECK(config.integrator_leakage >= 0.0 &&
+                  config.integrator_leakage < 1.0,
+              "FrontEndConfig: leakage out of [0, 1)");
+  CSECG_CHECK(config.ensemble == sensing::Ensemble::kRademacher ||
+                  config.integrator_leakage == 0.0,
+              "FrontEndConfig: integrator leakage models the RMPI chip "
+              "path; only the Rademacher ensemble supports it");
+  validate(config.solver);
+}
+
+}  // namespace csecg::core

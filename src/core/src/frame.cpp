@@ -1,0 +1,119 @@
+#include "csecg/core/frame.hpp"
+
+#include "csecg/coding/bitstream.hpp"
+#include "csecg/common/check.hpp"
+
+namespace csecg::core {
+namespace {
+
+constexpr std::uint16_t kMagic = 0xC5E6;  // "CSEc[g]".
+
+void push_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value & 0xFF));
+}
+
+void push_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  push_u16(out, static_cast<std::uint16_t>(value >> 16));
+  push_u16(out, static_cast<std::uint16_t>(value & 0xFFFF));
+}
+
+std::uint16_t read_u16(const std::vector<std::uint8_t>& bytes,
+                       std::size_t& offset) {
+  CSECG_CHECK(offset + 2 <= bytes.size(), "frame: truncated header");
+  const std::uint16_t value = static_cast<std::uint16_t>(
+      (bytes[offset] << 8) | bytes[offset + 1]);
+  offset += 2;
+  return value;
+}
+
+std::uint32_t read_u32(const std::vector<std::uint8_t>& bytes,
+                       std::size_t& offset) {
+  const std::uint32_t hi = read_u16(bytes, offset);
+  const std::uint32_t lo = read_u16(bytes, offset);
+  return (hi << 16) | lo;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_frame(
+    const Frame& frame, const sensing::Quantizer& measurement_adc) {
+  CSECG_CHECK(frame.measurement_bits == measurement_adc.bits(),
+              "serialize_frame: frame carries "
+                  << frame.measurement_bits << "-bit measurements, ADC has "
+                  << measurement_adc.bits());
+  CSECG_CHECK(frame.window > 0 && frame.window <= 0xFFFF,
+              "serialize_frame: window out of format range");
+  CSECG_CHECK(frame.measurements.size() <= 0xFFFF,
+              "serialize_frame: too many measurements");
+  CSECG_CHECK(frame.lowres_bits <= 0xFFFFFFFFull,
+              "serialize_frame: low-res payload too large");
+
+  std::vector<std::uint8_t> out;
+  push_u16(out, kMagic);
+  push_u16(out, static_cast<std::uint16_t>(frame.window));
+  push_u16(out, static_cast<std::uint16_t>(frame.measurements.size()));
+  out.push_back(static_cast<std::uint8_t>(frame.measurement_bits));
+  out.push_back(frame.lowres_payload.empty() ? 0 : 1);
+
+  coding::BitWriter writer;
+  for (double value : frame.measurements) {
+    writer.write(static_cast<std::uint64_t>(measurement_adc.code(value)),
+                 frame.measurement_bits);
+  }
+  const auto code_bytes = writer.finish();
+  out.insert(out.end(), code_bytes.begin(), code_bytes.end());
+
+  if (!frame.lowres_payload.empty()) {
+    push_u32(out, static_cast<std::uint32_t>(frame.lowres_bits));
+    out.insert(out.end(), frame.lowres_payload.begin(),
+               frame.lowres_payload.end());
+  }
+  return out;
+}
+
+Frame deserialize_frame(const std::vector<std::uint8_t>& bytes,
+                        const sensing::Quantizer& measurement_adc) {
+  std::size_t offset = 0;
+  CSECG_CHECK(read_u16(bytes, offset) == kMagic,
+              "deserialize_frame: bad magic");
+  Frame frame;
+  frame.window = read_u16(bytes, offset);
+  const std::size_t m = read_u16(bytes, offset);
+  CSECG_CHECK(offset + 2 <= bytes.size(), "deserialize_frame: truncated");
+  frame.measurement_bits = bytes[offset++];
+  const bool has_lowres = bytes[offset++] != 0;
+  CSECG_CHECK(frame.measurement_bits == measurement_adc.bits(),
+              "deserialize_frame: measurement bit-depth mismatch");
+
+  const std::size_t code_bytes =
+      (m * static_cast<std::size_t>(frame.measurement_bits) + 7) / 8;
+  CSECG_CHECK(offset + code_bytes <= bytes.size(),
+              "deserialize_frame: truncated measurements");
+  coding::BitReader reader(std::vector<std::uint8_t>(
+      bytes.begin() + static_cast<long>(offset),
+      bytes.begin() + static_cast<long>(offset + code_bytes)));
+  offset += code_bytes;
+  frame.measurements = linalg::Vector(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto code =
+        static_cast<std::int64_t>(reader.read(frame.measurement_bits));
+    frame.measurements[i] = measurement_adc.reconstruct(code);
+  }
+
+  if (has_lowres) {
+    frame.lowres_bits = read_u32(bytes, offset);
+    const std::size_t payload_bytes = (frame.lowres_bits + 7) / 8;
+    CSECG_CHECK(offset + payload_bytes <= bytes.size(),
+                "deserialize_frame: truncated low-res payload");
+    frame.lowres_payload.assign(
+        bytes.begin() + static_cast<long>(offset),
+        bytes.begin() + static_cast<long>(offset + payload_bytes));
+    offset += payload_bytes;
+  }
+  CSECG_CHECK(offset == bytes.size(),
+              "deserialize_frame: trailing bytes after frame");
+  return frame;
+}
+
+}  // namespace csecg::core

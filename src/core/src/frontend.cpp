@@ -1,0 +1,237 @@
+#include "csecg/core/frontend.hpp"
+
+#include <utility>
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::core {
+namespace {
+
+/// The sensing matrix the decoder (and the ideal-matrix encoder path)
+/// must use: the leakage-aware chip matrix for Rademacher, the configured
+/// ensemble otherwise.
+linalg::Matrix sensing_matrix_for(const FrontEndConfig& config,
+                                  const sensing::RmpiSimulator& rmpi) {
+  if (config.ensemble == sensing::Ensemble::kRademacher) {
+    return rmpi.effective_matrix();
+  }
+  sensing::SensingConfig sensing_config;
+  sensing_config.ensemble = config.ensemble;
+  sensing_config.measurements = config.measurements;
+  sensing_config.window = config.window;
+  sensing_config.seed = config.chip_seed;
+  return sensing::make_sensing_matrix(sensing_config);
+}
+
+sensing::RmpiConfig rmpi_config_from(const FrontEndConfig& config) {
+  sensing::RmpiConfig rmpi;
+  rmpi.channels = config.measurements;
+  rmpi.window = config.window;
+  rmpi.chip_seed = config.chip_seed;
+  rmpi.integrator_leakage = config.integrator_leakage;
+  rmpi.adc_bits = config.measurement_adc_bits;
+  // After AC-coupling the signal swings within ±half of the record range.
+  rmpi.input_full_scale = config.dc_reference();
+  return rmpi;
+}
+
+std::optional<sensing::LowResChannel> lowres_from(
+    const FrontEndConfig& config) {
+  if (config.lowres_bits == 0) return std::nullopt;
+  sensing::LowResConfig lowres;
+  lowres.bits = config.lowres_bits;
+  lowres.full_scale_bits = config.record_bits;
+  return sensing::LowResChannel(lowres);
+}
+
+void check_codec_consistency(
+    const FrontEndConfig& config,
+    const std::optional<coding::DeltaHuffmanCodec>& codec) {
+  if (config.lowres_bits == 0) return;
+  CSECG_CHECK(codec.has_value(),
+              "front-end: low-resolution channel enabled but no codec given");
+  CSECG_CHECK(codec->code_bits() == config.lowres_bits,
+              "front-end: codec trained for " << codec->code_bits()
+                                              << "-bit codes, config uses "
+                                              << config.lowres_bits);
+}
+
+}  // namespace
+
+coding::DeltaHuffmanCodec train_lowres_codec(
+    const FrontEndConfig& config, const ecg::SyntheticDatabase& database,
+    std::size_t training_records, std::size_t windows_per_record) {
+  validate(config);
+  CSECG_CHECK(config.lowres_bits > 0,
+              "train_lowres_codec: low-resolution channel is disabled");
+  CSECG_CHECK(training_records > 0 && windows_per_record > 0,
+              "train_lowres_codec: empty training request");
+  CSECG_CHECK(training_records <= database.size(),
+              "train_lowres_codec: only " << database.size()
+                                          << " records available");
+  const auto lowres = lowres_from(config);
+  std::vector<std::vector<std::int64_t>> corpus;
+  corpus.reserve(training_records * windows_per_record);
+  for (std::size_t r = 0; r < training_records; ++r) {
+    const auto windows = ecg::extract_windows(database.record(r),
+                                              config.window,
+                                              windows_per_record);
+    for (const auto& window : windows) {
+      corpus.push_back(lowres->sample(window).codes);
+    }
+  }
+  return coding::DeltaHuffmanCodec::train(corpus, config.lowres_bits);
+}
+
+// ---------------------------------------------------------------------------
+// Encoder.
+
+Encoder::Encoder(FrontEndConfig config,
+                 std::optional<coding::DeltaHuffmanCodec> lowres_codec)
+    : config_(std::move(config)),
+      rmpi_(rmpi_config_from(config_)),
+      lowres_(lowres_from(config_)),
+      codec_(std::move(lowres_codec)) {
+  validate(config_);
+  check_codec_consistency(config_, codec_);
+  if (config_.ensemble != sensing::Ensemble::kRademacher) {
+    phi_alt_ = sensing_matrix_for(config_, rmpi_);
+  }
+}
+
+const std::optional<sensing::Quantizer>& Encoder::measurement_adc()
+    const noexcept {
+  return rmpi_.adc();
+}
+
+Frame Encoder::encode(const linalg::Vector& window) const {
+  CSECG_CHECK(window.size() == config_.window,
+              "Encoder::encode: window has " << window.size()
+                                             << " samples, expected "
+                                             << config_.window);
+  Frame frame;
+  frame.window = config_.window;
+  frame.measurement_bits = config_.measurement_adc_bits;
+
+  // CS channel on the AC-coupled signal.
+  const double dc = config_.dc_reference();
+  linalg::Vector ac = window;
+  for (auto& v : ac) v -= dc;
+  if (phi_alt_) {
+    // Ideal-matrix ablation path, quantized by the same measurement ADC.
+    frame.measurements = linalg::multiply(*phi_alt_, ac);
+    if (rmpi_.adc()) {
+      for (auto& v : frame.measurements) {
+        v = rmpi_.adc()->reconstruct(rmpi_.adc()->code(v));
+      }
+    }
+  } else {
+    frame.measurements = rmpi_.measure(ac);
+  }
+
+  // Low-resolution channel on the raw signal.
+  if (lowres_) {
+    const sensing::LowResOutput out = lowres_->sample(window);
+    frame.lowres_payload = codec_->encode(out.codes, frame.lowres_bits);
+  }
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Decoder.
+
+Decoder::Decoder(FrontEndConfig config,
+                 std::optional<coding::DeltaHuffmanCodec> lowres_codec)
+    : config_((validate(config), std::move(config))),
+      rmpi_(rmpi_config_from(config_)),
+      lowres_(lowres_from(config_)),
+      codec_(std::move(lowres_codec)),
+      dwt_(config_.wavelet, config_.window, config_.wavelet_levels),
+      phi_(linalg::LinearOperator::from_matrix(
+          sensing_matrix_for(config_, rmpi_))) {
+  check_codec_consistency(config_, codec_);
+  phi_norm_ = linalg::operator_norm_estimate(phi_, 60);
+  sigma_ = config_.sigma_scale * rmpi_.expected_quantization_noise_norm();
+  const linalg::Matrix eff = sensing_matrix_for(config_, rmpi_);
+  gram_chol_ = std::make_unique<linalg::Cholesky>(
+      linalg::multiply(eff, linalg::transpose(eff)));
+}
+
+DecodeResult Decoder::decode(const Frame& frame, DecodeMode mode) const {
+  CSECG_CHECK(frame.window == config_.window,
+              "Decoder::decode: frame window " << frame.window
+                                               << " != config window "
+                                               << config_.window);
+  CSECG_CHECK(frame.measurements.size() == config_.measurements,
+              "Decoder::decode: frame carries "
+                  << frame.measurements.size() << " measurements, expected "
+                  << config_.measurements);
+  const bool frame_has_box = !frame.lowres_payload.empty();
+  bool use_box = false;
+  switch (mode) {
+    case DecodeMode::kAuto:
+      use_box = frame_has_box && lowres_.has_value();
+      break;
+    case DecodeMode::kHybrid:
+      CSECG_CHECK(frame_has_box && lowres_.has_value(),
+                  "Decoder::decode: hybrid mode requires the low-res payload"
+                  " and an enabled channel");
+      use_box = true;
+      break;
+    case DecodeMode::kNormalCs:
+      use_box = false;
+      break;
+  }
+
+  // The solve runs in the AC-coupled domain (x_ac = x − dc·1): the DC
+  // reference is a design constant known at both ends, exactly as the
+  // baseline sits outside the paper's recovery problem.  The box from the
+  // low-resolution channel is shifted into the same domain.
+  const double dc = config_.dc_reference();
+  std::optional<recovery::BoxConstraint> box;
+  if (use_box) {
+    const std::vector<std::int64_t> codes =
+        codec_->decode(frame.lowres_payload, config_.window);
+    const linalg::Vector lower = lowres_->reconstruct(codes);
+    recovery::BoxConstraint constraint;
+    constraint.lower = lower;
+    constraint.upper = lower;
+    const double step = lowres_->step();
+    for (std::size_t i = 0; i < config_.window; ++i) {
+      constraint.lower[i] -= dc;
+      constraint.upper[i] += step - dc;
+    }
+    box = std::move(constraint);
+  }
+
+  recovery::PdhgOptions options = config_.solver;
+  options.phi_norm_hint = phi_norm_;
+  if (!box) {
+    // Least-norm warm start Φᵀ(ΦΦᵀ)⁻¹y: measurement-consistent from
+    // iteration zero, so PDHG only has to shrink the ℓ1 objective.
+    options.x0 = phi_.apply_adjoint(gram_chol_->solve(frame.measurements));
+  }
+
+  DecodeResult result;
+  result.used_box = use_box;
+  result.solver =
+      recovery::solve_bpdn(phi_, dwt_.synthesis_operator(),
+                           frame.measurements, sigma_, box, options);
+  result.x = result.solver.x;
+  for (auto& v : result.x) v += dc;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Codec.
+
+Codec::Codec(FrontEndConfig config,
+             std::optional<coding::DeltaHuffmanCodec> lowres_codec)
+    : encoder_(config, lowres_codec), decoder_(config, lowres_codec) {}
+
+DecodeResult Codec::roundtrip(const linalg::Vector& window,
+                              DecodeMode mode) const {
+  return decoder_.decode(encoder_.encode(window), mode);
+}
+
+}  // namespace csecg::core

@@ -1,0 +1,94 @@
+#include "csecg/core/runner.hpp"
+
+#include "csecg/common/check.hpp"
+#include "csecg/metrics/quality.hpp"
+
+namespace csecg::core {
+
+RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
+                        std::size_t window_count, DecodeMode mode) {
+  CSECG_CHECK(window_count > 0, "run_record: window_count must be positive");
+  const FrontEndConfig& config = codec.config();
+  const auto windows =
+      ecg::extract_windows(record, config.window, window_count);
+
+  RecordReport report;
+  report.record_name = record.name;
+  report.cs_cr_percent = config.cs_compression_ratio();
+  double prd_sum = 0.0;
+  double snr_sum = 0.0;
+  double lowres_bits_sum = 0.0;
+
+  for (const auto& window : windows) {
+    const Frame frame = codec.encoder().encode(window);
+    const DecodeResult decoded = codec.decoder().decode(frame, mode);
+
+    WindowMetrics m;
+    m.prd = metrics::prd_zero_mean(window, decoded.x);
+    m.snr = metrics::snr_from_prd(m.prd);
+    m.prd_raw = metrics::prd(window, decoded.x);
+    m.snr_raw = metrics::snr_from_prd(m.prd_raw);
+    m.cs_bits = frame.cs_bits();
+    m.lowres_bits = frame.lowres_bits;
+    m.converged = decoded.solver.converged;
+    m.iterations = decoded.solver.iterations;
+    report.windows.push_back(m);
+
+    prd_sum += m.prd;
+    snr_sum += m.snr;
+    lowres_bits_sum += static_cast<double>(m.lowres_bits);
+  }
+
+  const auto count = static_cast<double>(report.windows.size());
+  report.mean_prd = prd_sum / count;
+  report.mean_snr = snr_sum / count;
+  const double original_bits_per_window =
+      static_cast<double>(config.window) *
+      static_cast<double>(config.original_bits);
+  report.overhead_percent =
+      lowres_bits_sum / count / original_bits_per_window * 100.0;
+  report.net_cr_percent =
+      metrics::net_compression_ratio(report.cs_cr_percent,
+                                     report.overhead_percent);
+  return report;
+}
+
+std::vector<RecordReport> run_database(const Codec& codec,
+                                       const ecg::SyntheticDatabase& database,
+                                       std::size_t record_count,
+                                       std::size_t windows_per_record,
+                                       DecodeMode mode) {
+  CSECG_CHECK(record_count > 0 && record_count <= database.size(),
+              "run_database: record_count out of range");
+  std::vector<RecordReport> reports;
+  reports.reserve(record_count);
+  for (std::size_t r = 0; r < record_count; ++r) {
+    reports.push_back(
+        run_record(codec, database.record(r), windows_per_record, mode));
+  }
+  return reports;
+}
+
+double averaged_snr(const std::vector<RecordReport>& reports) {
+  CSECG_CHECK(!reports.empty(), "averaged_snr: no reports");
+  double sum = 0.0;
+  for (const auto& r : reports) sum += r.mean_snr;
+  return sum / static_cast<double>(reports.size());
+}
+
+double averaged_prd(const std::vector<RecordReport>& reports) {
+  CSECG_CHECK(!reports.empty(), "averaged_prd: no reports");
+  double sum = 0.0;
+  for (const auto& r : reports) sum += r.mean_prd;
+  return sum / static_cast<double>(reports.size());
+}
+
+std::vector<double> per_record_snr(
+    const std::vector<RecordReport>& reports) {
+  std::vector<double> out;
+  out.reserve(reports.size());
+  for (const auto& r : reports) out.push_back(r.mean_snr);
+  return out;
+}
+
+}  // namespace csecg::core

@@ -1,0 +1,40 @@
+#include "csecg/core/streaming.hpp"
+
+namespace csecg::core {
+
+StreamingEncoder::StreamingEncoder(
+    FrontEndConfig config,
+    std::optional<coding::DeltaHuffmanCodec> lowres_codec)
+    : encoder_(std::move(config), std::move(lowres_codec)),
+      buffer_(encoder_.config().window) {}
+
+std::optional<Frame> StreamingEncoder::push(double sample) {
+  buffer_[buffer_fill_++] = sample;
+  if (buffer_fill_ < encoder_.config().window) return std::nullopt;
+  buffer_fill_ = 0;
+  Frame frame = encoder_.encode(buffer_);
+  ++frames_emitted_;
+  bits_emitted_ += frame.total_bits();
+  return frame;
+}
+
+void StreamingEncoder::reset() noexcept { buffer_fill_ = 0; }
+
+StreamingDecoder::StreamingDecoder(
+    FrontEndConfig config,
+    std::optional<coding::DeltaHuffmanCodec> lowres_codec, DecodeMode mode)
+    : decoder_(std::move(config), std::move(lowres_codec)), mode_(mode) {}
+
+const linalg::Vector& StreamingDecoder::push(const Frame& frame) {
+  DecodeResult result = decoder_.decode(frame, mode_);
+  last_window_ = std::move(result.x);
+  const std::size_t old_size = signal_.size();
+  signal_.resize(old_size + last_window_.size());
+  for (std::size_t i = 0; i < last_window_.size(); ++i) {
+    signal_[old_size + i] = last_window_[i];
+  }
+  ++frames_decoded_;
+  return last_window_;
+}
+
+}  // namespace csecg::core

@@ -1,0 +1,47 @@
+// Orthonormal DCT-II dictionary.
+//
+// The paper's conclusion motivates the hybrid front-end for high-frequency
+// A2I conversion, where the signal of interest is a few tones and flash
+// ADCs cap out near 8 ENOB at GHz rates.  Tone-sparse real signals are
+// sparse under the DCT, so this transform plays the Ψ role for the HF
+// demo (examples/hf_a2i.cpp) the way the wavelet DWT does for ECG.
+//
+//   forward:  C[k] = s_k · Σ_i x[i] · cos(π(2i+1)k / 2n)
+//   inverse:  the transpose (the transform is orthonormal)
+//
+// with s_0 = √(1/n), s_k = √(2/n).  Direct O(n²) evaluation with a
+// precomputed cosine table — exact, allocation-free per apply, and fast
+// enough for the window sizes csecg uses (n ≤ a few thousand).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "csecg/linalg/operator.hpp"
+#include "csecg/linalg/vector.hpp"
+
+namespace csecg::dsp {
+
+/// Orthonormal DCT-II for fixed length n.
+class Dct {
+ public:
+  /// Throws std::invalid_argument unless n ≥ 1.
+  explicit Dct(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Analysis: DCT coefficients of x (length n).
+  linalg::Vector forward(const linalg::Vector& x) const;
+
+  /// Synthesis: signal from coefficients (the inverse/transpose).
+  linalg::Vector inverse(const linalg::Vector& coeffs) const;
+
+  /// The synthesis operator Ψ (apply = inverse, adjoint = forward).
+  linalg::LinearOperator synthesis_operator() const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> table_;  // table_[k·n + i] = s_k·cos(π(2i+1)k/2n).
+};
+
+}  // namespace csecg::dsp

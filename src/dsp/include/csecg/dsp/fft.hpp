@@ -1,0 +1,58 @@
+// Radix-2 FFT, real-signal spectra, and Welch PSD estimation.
+//
+// Supports the spectral-distortion quality metric (clinicians read ECG
+// partly in the frequency domain: QRS energy 5–15 Hz, T waves below 5 Hz)
+// and general signal diagnostics on the synthesizer output.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "csecg/linalg/vector.hpp"
+
+namespace csecg::dsp {
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+/// data.size() must be a power of two ≥ 1; inverse applies 1/n scaling.
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// FFT of a real signal (length must be a power of two); returns the full
+/// complex spectrum (n bins, conjugate-symmetric).
+std::vector<std::complex<double>> fft_real(const linalg::Vector& x);
+
+/// One-sided magnitude spectrum |X[k]| for k = 0..n/2 of a real signal.
+linalg::Vector magnitude_spectrum(const linalg::Vector& x);
+
+/// Welch PSD options.
+struct WelchConfig {
+  std::size_t segment = 256;  ///< Power-of-two segment length.
+  double overlap = 0.5;       ///< Fractional overlap in [0, 1).
+  double fs_hz = 360.0;       ///< Sampling rate (sets the bin frequencies).
+};
+
+/// Validates a WelchConfig; throws std::invalid_argument on nonsense.
+void validate(const WelchConfig& config);
+
+/// Welch PSD estimate result.
+struct Psd {
+  std::vector<double> frequency_hz;  ///< Bin centers, 0..fs/2.
+  std::vector<double> power;         ///< Power density per bin.
+};
+
+/// Hann-windowed, averaged-periodogram PSD of a real signal.  The signal
+/// must contain at least one full segment.
+Psd welch_psd(const linalg::Vector& x, const WelchConfig& config = {});
+
+/// Band power of a PSD over [f_lo, f_hi] (trapezoidal sum).
+double band_power(const Psd& psd, double f_lo_hz, double f_hi_hz);
+
+/// Spectral distortion between an original and reconstructed signal:
+/// RMS difference of their Welch PSDs in dB over [f_lo, f_hi] — the
+/// frequency-domain companion of PRD.  Throws on size mismatch.
+double spectral_distortion_db(const linalg::Vector& original,
+                              const linalg::Vector& reconstructed,
+                              const WelchConfig& config = {},
+                              double f_lo_hz = 0.5, double f_hi_hz = 40.0);
+
+}  // namespace csecg::dsp

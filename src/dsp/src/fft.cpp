@@ -1,0 +1,160 @@
+#include "csecg/dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::dsp {
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  CSECG_CHECK(is_power_of_two(n), "fft: length must be a power of two, got "
+                                      << n);
+  if (n == 1) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Danielson–Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& value : data) value *= scale;
+  }
+}
+
+std::vector<std::complex<double>> fft_real(const linalg::Vector& x) {
+  std::vector<std::complex<double>> data(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = x[i];
+  fft(data);
+  return data;
+}
+
+linalg::Vector magnitude_spectrum(const linalg::Vector& x) {
+  const auto spectrum = fft_real(x);
+  linalg::Vector out(x.size() / 2 + 1);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k] = std::abs(spectrum[k]);
+  }
+  return out;
+}
+
+void validate(const WelchConfig& config) {
+  CSECG_CHECK(is_power_of_two(config.segment) && config.segment >= 8,
+              "WelchConfig: segment must be a power of two >= 8, got "
+                  << config.segment);
+  CSECG_CHECK(config.overlap >= 0.0 && config.overlap < 1.0,
+              "WelchConfig: overlap must be in [0, 1)");
+  CSECG_CHECK(config.fs_hz > 0.0, "WelchConfig: fs must be positive");
+}
+
+Psd welch_psd(const linalg::Vector& x, const WelchConfig& config) {
+  validate(config);
+  const std::size_t seg = config.segment;
+  CSECG_CHECK(x.size() >= seg, "welch_psd: signal shorter than one segment");
+  const auto hop = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(static_cast<double>(seg) * (1.0 - config.overlap))));
+
+  // Hann window and its power normalization.
+  std::vector<double> window(seg);
+  double window_power = 0.0;
+  for (std::size_t i = 0; i < seg; ++i) {
+    window[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi *
+                                     static_cast<double>(i) /
+                                     static_cast<double>(seg - 1));
+    window_power += window[i] * window[i];
+  }
+
+  Psd psd;
+  psd.frequency_hz.resize(seg / 2 + 1);
+  psd.power.assign(seg / 2 + 1, 0.0);
+  for (std::size_t k = 0; k <= seg / 2; ++k) {
+    psd.frequency_hz[k] =
+        static_cast<double>(k) * config.fs_hz / static_cast<double>(seg);
+  }
+
+  std::size_t segments = 0;
+  std::vector<std::complex<double>> buffer(seg);
+  for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
+    // Detrend (remove segment mean) and window.
+    double mean = 0.0;
+    for (std::size_t i = 0; i < seg; ++i) mean += x[start + i];
+    mean /= static_cast<double>(seg);
+    for (std::size_t i = 0; i < seg; ++i) {
+      buffer[i] = (x[start + i] - mean) * window[i];
+    }
+    fft(buffer);
+    for (std::size_t k = 0; k <= seg / 2; ++k) {
+      const double mag2 = std::norm(buffer[k]);
+      // One-sided density; interior bins double.
+      const double scale = (k == 0 || k == seg / 2) ? 1.0 : 2.0;
+      psd.power[k] += scale * mag2 / (window_power * config.fs_hz);
+    }
+    ++segments;
+  }
+  for (auto& p : psd.power) p /= static_cast<double>(segments);
+  return psd;
+}
+
+double band_power(const Psd& psd, double f_lo_hz, double f_hi_hz) {
+  CSECG_CHECK(f_lo_hz >= 0.0 && f_hi_hz > f_lo_hz,
+              "band_power: need 0 <= f_lo < f_hi");
+  CSECG_CHECK(psd.frequency_hz.size() >= 2, "band_power: empty psd");
+  double total = 0.0;
+  for (std::size_t k = 1; k < psd.frequency_hz.size(); ++k) {
+    const double f0 = psd.frequency_hz[k - 1];
+    const double f1 = psd.frequency_hz[k];
+    if (f1 < f_lo_hz || f0 > f_hi_hz) continue;
+    total += 0.5 * (psd.power[k - 1] + psd.power[k]) * (f1 - f0);
+  }
+  return total;
+}
+
+double spectral_distortion_db(const linalg::Vector& original,
+                              const linalg::Vector& reconstructed,
+                              const WelchConfig& config, double f_lo_hz,
+                              double f_hi_hz) {
+  CSECG_CHECK(original.size() == reconstructed.size(),
+              "spectral_distortion_db: size mismatch");
+  const Psd a = welch_psd(original, config);
+  const Psd b = welch_psd(reconstructed, config);
+  double acc = 0.0;
+  std::size_t bins = 0;
+  constexpr double kFloor = 1e-20;
+  for (std::size_t k = 0; k < a.frequency_hz.size(); ++k) {
+    const double f = a.frequency_hz[k];
+    if (f < f_lo_hz || f > f_hi_hz) continue;
+    const double da = 10.0 * std::log10(std::max(a.power[k], kFloor));
+    const double db = 10.0 * std::log10(std::max(b.power[k], kFloor));
+    acc += (da - db) * (da - db);
+    ++bins;
+  }
+  CSECG_CHECK(bins > 0, "spectral_distortion_db: empty band");
+  return std::sqrt(acc / static_cast<double>(bins));
+}
+
+}  // namespace csecg::dsp

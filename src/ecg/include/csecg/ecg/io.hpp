@@ -1,0 +1,33 @@
+// Record persistence.
+//
+// MIT-BIH ships as WFDB .dat/.hea/.atr triples; the synthetic surrogate
+// records get an equivalent single-file binary container (".csrec") so
+// experiments can pin an exact dataset to disk (and tools outside this
+// repo can consume it), plus a CSV exporter for plotting.
+//
+// .csrec layout (little-endian):
+//   magic "CSRC" | u16 version | u16 name_len | name bytes
+//   f64 fs_hz | f64 adc_gain | i32 adc_offset | i32 adc_bits
+//   u64 sample_count | i32 samples[...]
+//   u64 beat_count | { u64 sample, u8 type } beats[...]
+#pragma once
+
+#include <string>
+
+#include "csecg/ecg/record.hpp"
+
+namespace csecg::ecg {
+
+/// Writes a record to a .csrec file.  Throws std::runtime_error on I/O
+/// failure.
+void save_record(const EcgRecord& record, const std::string& path);
+
+/// Reads a .csrec file.  Throws std::runtime_error on I/O failure and
+/// std::invalid_argument on malformed content.
+EcgRecord load_record(const std::string& path);
+
+/// Writes "sample_index,adc_code,mv" rows (plus a header) for plotting.
+/// Throws std::runtime_error on I/O failure.
+void export_csv(const EcgRecord& record, const std::string& path);
+
+}  // namespace csecg::ecg

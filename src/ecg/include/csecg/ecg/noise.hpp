@@ -1,0 +1,46 @@
+// Ambulatory ECG noise models.
+//
+// MIT-BIH recordings are ambulatory, so the synthetic substitute layers
+// the three canonical contaminations of the NST (noise stress test)
+// methodology: baseline wander, muscle (EMG) noise, and powerline
+// interference.  Amplitudes are in millivolts on the same scale as the
+// clean synthesizer output.
+#pragma once
+
+#include "csecg/linalg/vector.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::ecg {
+
+/// Noise mix configuration (all RMS-ish amplitudes in mV; 0 disables).
+struct NoiseConfig {
+  double baseline_wander_mv = 0.05;  ///< Slow respiratory/motion drift.
+  double baseline_wander_hz = 0.33;  ///< Dominant wander frequency.
+  double emg_mv = 0.02;              ///< Broadband muscle noise (white).
+  double powerline_mv = 0.0;         ///< Mains interference amplitude.
+  double powerline_hz = 50.0;        ///< 50 or 60 Hz.
+};
+
+/// Validates a NoiseConfig; throws std::invalid_argument on negatives.
+void validate(const NoiseConfig& config);
+
+/// Generates n samples of baseline wander at fs_hz: a small set of
+/// random-phase sinusoids clustered around `wander_hz` whose RMS is
+/// `amplitude_mv`.
+linalg::Vector baseline_wander(std::size_t n, double fs_hz, double wander_hz,
+                               double amplitude_mv, rng::Xoshiro256& gen);
+
+/// Generates n samples of white Gaussian EMG noise with the given RMS.
+linalg::Vector emg_noise(std::size_t n, double amplitude_mv,
+                         rng::Xoshiro256& gen);
+
+/// Generates n samples of mains interference (sinusoid with slow random
+/// amplitude modulation, as coupled interference drifts in practice).
+linalg::Vector powerline(std::size_t n, double fs_hz, double mains_hz,
+                         double amplitude_mv, rng::Xoshiro256& gen);
+
+/// Adds the configured noise mix to `signal_mv` in place.
+void add_noise(linalg::Vector& signal_mv, double fs_hz,
+               const NoiseConfig& config, rng::Xoshiro256& gen);
+
+}  // namespace csecg::ecg

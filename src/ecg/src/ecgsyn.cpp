@@ -1,0 +1,164 @@
+#include "csecg/ecg/ecgsyn.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "csecg/common/check.hpp"
+#include "csecg/dsp/fir.hpp"
+
+namespace csecg::ecg {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Each phase-domain Gaussian event integrates to a z-excursion of a·b², so
+// the canonical morphology's R peak is a_R·b_R² = 0.3.  The reference
+// ECGSYN implementation rescales its output to a physiological range; we
+// apply the equivalent fixed gain so a normal R wave lands near 1.1 mV.
+constexpr double kOutputGainMv = 3.6;
+
+/// Wraps an angle to (−π, π].
+double wrap_phase(double theta) {
+  theta = std::fmod(theta + kPi, kTwoPi);
+  if (theta < 0.0) theta += kTwoPi;
+  return theta - kPi;
+}
+
+/// dz/dt of the McSharry model for the given beat morphology.
+double z_derivative(double theta, double z, double z0, double omega,
+                    const BeatMorphology& morph) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double theta_i = morph.theta_deg[i] * kPi / 180.0;
+    const double dtheta = wrap_phase(theta - theta_i);
+    const double bi = morph.b[i];
+    acc -= morph.a[i] * dtheta * std::exp(-dtheta * dtheta / (2.0 * bi * bi));
+  }
+  return acc * omega - (z - z0);
+}
+
+}  // namespace
+
+void validate(const EcgSynConfig& config) {
+  CSECG_CHECK(config.fs_hz > 0.0, "EcgSynConfig: fs_hz must be positive");
+  CSECG_CHECK(config.oversample >= 1 && config.oversample <= 64,
+              "EcgSynConfig: oversample out of range: " << config.oversample);
+  CSECG_CHECK(config.amplitude_scale > 0.0 && config.width_scale > 0.0,
+              "EcgSynConfig: scales must be positive");
+  CSECG_CHECK(config.respiration_mv >= 0.0 && config.respiration_hz >= 0.0,
+              "EcgSynConfig: respiration parameters must be non-negative");
+  validate(config.rhythm);
+}
+
+SynthesizedEcg synthesize(const EcgSynConfig& config, double duration_seconds,
+                          rng::Xoshiro256& gen) {
+  validate(config);
+  CSECG_CHECK(duration_seconds > 0.0, "synthesize: duration must be positive");
+
+  const auto schedule = generate_rhythm(config.rhythm, duration_seconds, gen);
+  const double fs_int = config.fs_hz * config.oversample;
+  const double dt = 1.0 / fs_int;
+  const auto total_fine =
+      static_cast<std::size_t>(std::ceil(duration_seconds * fs_int));
+
+  // Pre-scale each distinct morphology once.
+  auto morph_for = [&config](BeatType type) {
+    return scale_morphology(beat_morphology(type), config.amplitude_scale,
+                            config.width_scale);
+  };
+  const BeatMorphology morph_normal = morph_for(BeatType::kNormal);
+  const BeatMorphology morph_pvc = morph_for(BeatType::kPvc);
+  const BeatMorphology morph_apc = morph_for(BeatType::kApc);
+  const BeatMorphology morph_wide = morph_for(BeatType::kWide);
+  const BeatMorphology morph_afib = morph_for(BeatType::kAfib);
+  auto select = [&](BeatType type) -> const BeatMorphology& {
+    switch (type) {
+      case BeatType::kPvc:
+        return morph_pvc;
+      case BeatType::kApc:
+        return morph_apc;
+      case BeatType::kWide:
+        return morph_wide;
+      case BeatType::kAfib:
+        return morph_afib;
+      case BeatType::kNormal:
+        break;
+    }
+    return morph_normal;
+  };
+
+  std::vector<double> fine(total_fine);
+  std::vector<BeatAnnotation> fine_beats;
+
+  // Start mid-diastole so the window does not open on a QRS complex.
+  double theta = -kPi;
+  double z = 0.0;
+  std::size_t beat_index = 0;
+  double omega = kTwoPi / schedule.front().rr_seconds;
+  const BeatMorphology* morph = &select(schedule.front().type);
+  bool annotated_this_beat = false;
+
+  for (std::size_t k = 0; k < total_fine; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    const double z0 = config.respiration_mv *
+                      std::sin(kTwoPi * config.respiration_hz * t);
+    // RK4 on z; θ advances linearly within a beat so intermediate phases
+    // are exact.
+    const double th1 = theta;
+    const double th2 = wrap_phase(theta + 0.5 * dt * omega);
+    const double th3 = th2;
+    const double th4 = wrap_phase(theta + dt * omega);
+    const double k1 = z_derivative(th1, z, z0, omega, *morph);
+    const double k2 = z_derivative(th2, z + 0.5 * dt * k1, z0, omega, *morph);
+    const double k3 = z_derivative(th3, z + 0.5 * dt * k2, z0, omega, *morph);
+    const double k4 = z_derivative(th4, z + dt * k3, z0, omega, *morph);
+    z += dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    fine[k] = z;
+
+    // Annotate the R peak when the phase crosses zero.
+    const double next_theta_unwrapped = theta + dt * omega;
+    if (!annotated_this_beat && theta < 0.0 && next_theta_unwrapped >= 0.0) {
+      fine_beats.push_back({k, schedule[beat_index].type});
+      annotated_this_beat = true;
+    }
+
+    // Beat boundary: phase wraps past +π.
+    if (next_theta_unwrapped >= kPi) {
+      theta = next_theta_unwrapped - kTwoPi;
+      if (beat_index + 1 < schedule.size()) {
+        ++beat_index;
+        omega = kTwoPi / schedule[beat_index].rr_seconds;
+        morph = &select(schedule[beat_index].type);
+      }
+      annotated_this_beat = false;
+    } else {
+      theta = next_theta_unwrapped;
+    }
+  }
+
+  for (double& v : fine) v *= kOutputGainMv;
+
+  // Anti-alias and decimate to the output rate.
+  SynthesizedEcg out;
+  out.fs_hz = config.fs_hz;
+  if (config.oversample == 1) {
+    out.signal_mv = linalg::Vector(std::move(fine));
+  } else {
+    const double cutoff = 0.45 / static_cast<double>(config.oversample);
+    const auto lowpass = dsp::design_lowpass(cutoff, 63);
+    const linalg::Vector filtered =
+        dsp::filter_same(linalg::Vector(std::move(fine)), lowpass);
+    out.signal_mv = dsp::decimate(
+        filtered, static_cast<std::size_t>(config.oversample));
+  }
+  out.beats.reserve(fine_beats.size());
+  for (const BeatAnnotation& ann : fine_beats) {
+    BeatAnnotation coarse = ann;
+    coarse.sample /= static_cast<std::size_t>(config.oversample);
+    if (coarse.sample < out.signal_mv.size()) out.beats.push_back(coarse);
+  }
+  return out;
+}
+
+}  // namespace csecg::ecg

@@ -1,0 +1,132 @@
+#include "csecg/ecg/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::ecg {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'S', 'R', 'C'};
+constexpr std::uint16_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::invalid_argument("csrec: truncated file");
+  return value;
+}
+
+BeatType beat_type_from_byte(std::uint8_t byte) {
+  switch (byte) {
+    case 0:
+      return BeatType::kNormal;
+    case 1:
+      return BeatType::kPvc;
+    case 2:
+      return BeatType::kApc;
+    case 3:
+      return BeatType::kWide;
+    case 4:
+      return BeatType::kAfib;
+    default:
+      throw std::invalid_argument("csrec: unknown beat type " +
+                                  std::to_string(byte));
+  }
+}
+
+std::uint8_t beat_type_to_byte(BeatType type) {
+  switch (type) {
+    case BeatType::kNormal:
+      return 0;
+    case BeatType::kPvc:
+      return 1;
+    case BeatType::kApc:
+      return 2;
+    case BeatType::kWide:
+      return 3;
+    case BeatType::kAfib:
+      return 4;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void save_record(const EcgRecord& record, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("csrec: cannot open " + path);
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  const auto name_len = static_cast<std::uint16_t>(record.name.size());
+  write_pod(out, name_len);
+  out.write(record.name.data(), name_len);
+  write_pod(out, record.config.fs_hz);
+  write_pod(out, record.config.adc_gain);
+  write_pod(out, static_cast<std::int32_t>(record.config.adc_offset));
+  write_pod(out, static_cast<std::int32_t>(record.config.adc_bits));
+  write_pod(out, static_cast<std::uint64_t>(record.samples.size()));
+  for (std::int32_t s : record.samples) write_pod(out, s);
+  write_pod(out, static_cast<std::uint64_t>(record.beats.size()));
+  for (const BeatAnnotation& beat : record.beats) {
+    write_pod(out, static_cast<std::uint64_t>(beat.sample));
+    write_pod(out, beat_type_to_byte(beat.type));
+  }
+  if (!out) throw std::runtime_error("csrec: write failed for " + path);
+}
+
+EcgRecord load_record(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("csrec: cannot open " + path);
+  char magic[4] = {};
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::invalid_argument("csrec: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint16_t>(in);
+  CSECG_CHECK(version == kVersion,
+              "csrec: unsupported version " << version);
+  const auto name_len = read_pod<std::uint16_t>(in);
+  EcgRecord record;
+  record.name.resize(name_len);
+  in.read(record.name.data(), name_len);
+  if (!in) throw std::invalid_argument("csrec: truncated name");
+  record.config.fs_hz = read_pod<double>(in);
+  record.config.adc_gain = read_pod<double>(in);
+  record.config.adc_offset = read_pod<std::int32_t>(in);
+  record.config.adc_bits = read_pod<std::int32_t>(in);
+  const auto sample_count = read_pod<std::uint64_t>(in);
+  record.samples.resize(sample_count);
+  for (auto& s : record.samples) s = read_pod<std::int32_t>(in);
+  const auto beat_count = read_pod<std::uint64_t>(in);
+  record.beats.resize(beat_count);
+  for (auto& beat : record.beats) {
+    beat.sample = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    beat.type = beat_type_from_byte(read_pod<std::uint8_t>(in));
+  }
+  record.config.duration_seconds =
+      static_cast<double>(sample_count) / record.config.fs_hz;
+  validate(record.config);
+  return record;
+}
+
+void export_csv(const EcgRecord& record, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("csv: cannot open " + path);
+  out << "sample,adc_code,mv\n";
+  for (std::size_t i = 0; i < record.samples.size(); ++i) {
+    out << i << ',' << record.samples[i] << ','
+        << record.to_mv(record.samples[i]) << '\n';
+  }
+  if (!out) throw std::runtime_error("csv: write failed for " + path);
+}
+
+}  // namespace csecg::ecg

@@ -1,0 +1,81 @@
+#include "csecg/ecg/noise.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "csecg/common/check.hpp"
+#include "csecg/rng/distributions.hpp"
+
+namespace csecg::ecg {
+
+void validate(const NoiseConfig& config) {
+  CSECG_CHECK(config.baseline_wander_mv >= 0.0 && config.emg_mv >= 0.0 &&
+                  config.powerline_mv >= 0.0,
+              "NoiseConfig: amplitudes must be non-negative");
+  CSECG_CHECK(config.baseline_wander_hz > 0.0 && config.powerline_hz > 0.0,
+              "NoiseConfig: frequencies must be positive");
+}
+
+linalg::Vector baseline_wander(std::size_t n, double fs_hz, double wander_hz,
+                               double amplitude_mv, rng::Xoshiro256& gen) {
+  CSECG_CHECK(fs_hz > 0.0 && wander_hz > 0.0,
+              "baseline_wander: rates must be positive");
+  CSECG_CHECK(amplitude_mv >= 0.0, "baseline_wander: negative amplitude");
+  linalg::Vector out(n);
+  if (amplitude_mv == 0.0 || n == 0) return out;
+  constexpr int kComponents = 4;
+  const double two_pi = 2.0 * std::numbers::pi;
+  // Components at {0.4, 0.7, 1.0, 1.3}·wander_hz with random phases; the
+  // per-component amplitude makes the total RMS equal amplitude_mv.
+  const double comp_amp =
+      amplitude_mv * std::numbers::sqrt2 / std::sqrt(double{kComponents});
+  for (int c = 0; c < kComponents; ++c) {
+    const double f = wander_hz * (0.4 + 0.3 * c);
+    const double phase = rng::uniform(gen, 0.0, two_pi);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / fs_hz;
+      out[i] += comp_amp * std::sin(two_pi * f * t + phase);
+    }
+  }
+  return out;
+}
+
+linalg::Vector emg_noise(std::size_t n, double amplitude_mv,
+                         rng::Xoshiro256& gen) {
+  CSECG_CHECK(amplitude_mv >= 0.0, "emg_noise: negative amplitude");
+  linalg::Vector out(n);
+  if (amplitude_mv == 0.0) return out;
+  for (auto& v : out) v = rng::normal(gen, 0.0, amplitude_mv);
+  return out;
+}
+
+linalg::Vector powerline(std::size_t n, double fs_hz, double mains_hz,
+                         double amplitude_mv, rng::Xoshiro256& gen) {
+  CSECG_CHECK(fs_hz > 0.0 && mains_hz > 0.0,
+              "powerline: rates must be positive");
+  CSECG_CHECK(amplitude_mv >= 0.0, "powerline: negative amplitude");
+  linalg::Vector out(n);
+  if (amplitude_mv == 0.0 || n == 0) return out;
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double phase = rng::uniform(gen, 0.0, two_pi);
+  const double am_phase = rng::uniform(gen, 0.0, two_pi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs_hz;
+    const double am = 1.0 + 0.2 * std::sin(two_pi * 0.1 * t + am_phase);
+    out[i] = amplitude_mv * am * std::sin(two_pi * mains_hz * t + phase);
+  }
+  return out;
+}
+
+void add_noise(linalg::Vector& signal_mv, double fs_hz,
+               const NoiseConfig& config, rng::Xoshiro256& gen) {
+  validate(config);
+  const std::size_t n = signal_mv.size();
+  signal_mv += baseline_wander(n, fs_hz, config.baseline_wander_hz,
+                               config.baseline_wander_mv, gen);
+  signal_mv += emg_noise(n, config.emg_mv, gen);
+  signal_mv +=
+      powerline(n, fs_hz, config.powerline_hz, config.powerline_mv, gen);
+}
+
+}  // namespace csecg::ecg

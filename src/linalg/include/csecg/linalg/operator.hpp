@@ -1,0 +1,79 @@
+// Matrix-free linear operators and iterative methods.
+//
+// The recovery solvers only ever need y = K·x and x = Kᵀ·y products, so
+// they are written against LinearOperator; a dense Matrix, a stacked
+// operator [Φ; I], or a fast wavelet transform all plug in uniformly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "csecg/linalg/matrix.hpp"
+#include "csecg/linalg/vector.hpp"
+
+namespace csecg::linalg {
+
+/// A linear map R^cols → R^rows given by callables for K and Kᵀ.
+class LinearOperator {
+ public:
+  using Apply = std::function<Vector(const Vector&)>;
+
+  LinearOperator() = default;
+
+  /// Wraps forward/adjoint callables with explicit dimensions.
+  LinearOperator(std::size_t rows, std::size_t cols, Apply forward,
+                 Apply adjoint);
+
+  /// Wraps a dense matrix (copies it).
+  static LinearOperator from_matrix(const Matrix& a);
+
+  /// Identity operator of order n.
+  static LinearOperator identity(std::size_t n);
+
+  /// Vertical stack [top; bottom]; operand column counts must match.
+  static LinearOperator vstack(const LinearOperator& top,
+                               const LinearOperator& bottom);
+
+  /// Composition this∘other, i.e. x ↦ this(other(x)).
+  LinearOperator compose(const LinearOperator& other) const;
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  /// K·x.  Validates the input dimension.
+  Vector apply(const Vector& x) const;
+
+  /// Kᵀ·y.  Validates the input dimension.
+  Vector apply_adjoint(const Vector& y) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Apply forward_;
+  Apply adjoint_;
+};
+
+/// Estimates the operator norm ‖K‖₂ (largest singular value) by power
+/// iteration on KᵀK.  Deterministic given the fixed internal start vector.
+/// `iterations` caps the work; 50 is plenty for the step-size safety use.
+double operator_norm_estimate(const LinearOperator& op, int iterations = 50);
+
+/// Result of a conjugate-gradient solve.
+struct CgResult {
+  Vector x;              ///< Approximate solution.
+  int iterations = 0;    ///< Iterations performed.
+  double residual_norm = 0.0;  ///< ‖b − A·x‖₂ at exit.
+  bool converged = false;      ///< True if tolerance met within budget.
+};
+
+/// Solves A·x = b for symmetric positive-definite A (as an operator) by
+/// conjugate gradients.  `tol` is relative to ‖b‖₂.
+CgResult conjugate_gradient(const LinearOperator& a, const Vector& b,
+                            int max_iterations = 200, double tol = 1e-10);
+
+/// Checks ⟨K·x, y⟩ == ⟨x, Kᵀ·y⟩ on random probes; returns the largest
+/// relative mismatch.  Used by tests to validate hand-written adjoints.
+double adjoint_mismatch(const LinearOperator& op, int probes = 5,
+                        unsigned long long seed = 42);
+
+}  // namespace csecg::linalg

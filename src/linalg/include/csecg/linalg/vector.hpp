@@ -1,0 +1,103 @@
+// Dense real vector and BLAS-1 style kernels.
+//
+// csecg works with short dense vectors (ECG windows of a few hundred
+// samples), so Vector is a value type backed by contiguous storage with
+// simple, cache-friendly loops; no expression templates and no aliasing
+// surprises.  Debug builds bounds-check via at(); release-path operator[]
+// is unchecked.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace csecg::linalg {
+
+/// Dense column vector of doubles.
+class Vector {
+ public:
+  Vector() = default;
+
+  /// Creates a zero vector of dimension n.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+
+  /// Creates a vector of dimension n with all entries equal to fill.
+  Vector(std::size_t n, double fill) : data_(n, fill) {}
+
+  /// Creates a vector from an explicit list of entries.
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Adopts the contents of a std::vector (no copy).
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator[](std::size_t i) noexcept { return data_[i]; }
+  double operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double& at(std::size_t i) { return data_.at(i); }
+  double at(std::size_t i) const { return data_.at(i); }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  auto begin() noexcept { return data_.begin(); }
+  auto begin() const noexcept { return data_.begin(); }
+  auto end() noexcept { return data_.end(); }
+  auto end() const noexcept { return data_.end(); }
+
+  /// Underlying storage (read-only); handy for interop with std algorithms.
+  const std::vector<double>& std() const noexcept { return data_; }
+
+  /// Resizes to n entries; new entries are zero.
+  void resize(std::size_t n) { data_.resize(n, 0.0); }
+
+  /// Sets every entry to value.
+  void fill(double value);
+
+  /// In-place arithmetic (element-wise; dimensions must match).
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double scalar) noexcept;
+
+  friend bool operator==(const Vector&, const Vector&) = default;
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Element-wise sum; dimensions must match.
+Vector operator+(const Vector& a, const Vector& b);
+/// Element-wise difference; dimensions must match.
+Vector operator-(const Vector& a, const Vector& b);
+/// Scalar product.
+Vector operator*(double scalar, const Vector& v);
+Vector operator*(const Vector& v, double scalar);
+
+/// Dot product ⟨a, b⟩; dimensions must match.
+double dot(const Vector& a, const Vector& b);
+
+/// y ← alpha·x + y; dimensions must match.
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// Euclidean norm ‖v‖₂.
+double norm2(const Vector& v) noexcept;
+
+/// Squared Euclidean norm ‖v‖₂².
+double norm2_squared(const Vector& v) noexcept;
+
+/// ℓ1 norm ‖v‖₁.
+double norm1(const Vector& v) noexcept;
+
+/// ℓ∞ norm max|vᵢ| (0 for the empty vector).
+double norm_inf(const Vector& v) noexcept;
+
+/// Number of entries with |vᵢ| > tol (sparsity diagnostic).
+std::size_t count_above(const Vector& v, double tol) noexcept;
+
+/// Arithmetic mean (0 for the empty vector).
+double mean(const Vector& v) noexcept;
+
+}  // namespace csecg::linalg

@@ -1,0 +1,133 @@
+#include "csecg/linalg/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::linalg {
+
+double& Matrix::at(std::size_t i, std::size_t j) {
+  if (i >= rows_ || j >= cols_) {
+    throw std::out_of_range("Matrix::at index out of range");
+  }
+  return (*this)(i, j);
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+  if (i >= rows_ || j >= cols_) {
+    throw std::out_of_range("Matrix::at index out of range");
+  }
+  return (*this)(i, j);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix eye(n, n);
+  for (std::size_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  return eye;
+}
+
+Vector multiply(const Matrix& a, const Vector& x) {
+  CSECG_CHECK(x.size() == a.cols(), "gemv dimension mismatch: A is "
+                                        << a.rows() << "x" << a.cols()
+                                        << ", x has " << x.size());
+  Vector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vector multiply_transpose(const Matrix& a, const Vector& x) {
+  CSECG_CHECK(x.size() == a.rows(), "gemv^T dimension mismatch: A is "
+                                        << a.rows() << "x" << a.cols()
+                                        << ", x has " << x.size());
+  Vector y(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  CSECG_CHECK(a.cols() == b.rows(), "gemm dimension mismatch: "
+                                        << a.rows() << "x" << a.cols()
+                                        << " times " << b.rows() << "x"
+                                        << b.cols());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      double* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+Matrix gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* row = a.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double v = row[i];
+      if (v == 0.0) continue;
+      double* grow = g.row(i);
+      for (std::size_t j = i; j < a.cols(); ++j) grow[j] += v * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+double frobenius_norm(const Matrix& a) noexcept {
+  double acc = 0.0;
+  const double* p = a.data();
+  const std::size_t total = a.rows() * a.cols();
+  for (std::size_t i = 0; i < total; ++i) acc += p[i] * p[i];
+  return std::sqrt(acc);
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  CSECG_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "max_abs_diff shape mismatch");
+  double acc = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const std::size_t total = a.rows() * a.cols();
+  for (std::size_t i = 0; i < total; ++i) {
+    acc = std::max(acc, std::abs(pa[i] - pb[i]));
+  }
+  return acc;
+}
+
+void normalize_columns(Matrix& a) noexcept {
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) acc += a(i, j) * a(i, j);
+    const double norm = std::sqrt(acc);
+    if (norm == 0.0) continue;
+    const double inv = 1.0 / norm;
+    for (std::size_t i = 0; i < a.rows(); ++i) a(i, j) *= inv;
+  }
+}
+
+}  // namespace csecg::linalg

@@ -1,0 +1,104 @@
+#include "csecg/linalg/vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::linalg {
+
+void Vector::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  CSECG_CHECK(size() == rhs.size(),
+              "vector += dimension mismatch: " << size() << " vs "
+                                               << rhs.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  CSECG_CHECK(size() == rhs.size(),
+              "vector -= dimension mismatch: " << size() << " vs "
+                                               << rhs.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) noexcept {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Vector operator+(const Vector& a, const Vector& b) {
+  Vector out = a;
+  out += b;
+  return out;
+}
+
+Vector operator-(const Vector& a, const Vector& b) {
+  Vector out = a;
+  out -= b;
+  return out;
+}
+
+Vector operator*(double scalar, const Vector& v) {
+  Vector out = v;
+  out *= scalar;
+  return out;
+}
+
+Vector operator*(const Vector& v, double scalar) { return scalar * v; }
+
+double dot(const Vector& a, const Vector& b) {
+  CSECG_CHECK(a.size() == b.size(),
+              "dot dimension mismatch: " << a.size() << " vs " << b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  CSECG_CHECK(x.size() == y.size(),
+              "axpy dimension mismatch: " << x.size() << " vs " << y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm2(const Vector& v) noexcept { return std::sqrt(norm2_squared(v)); }
+
+double norm2_squared(const Vector& v) noexcept {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return acc;
+}
+
+double norm1(const Vector& v) noexcept {
+  double acc = 0.0;
+  for (double x : v) acc += std::abs(x);
+  return acc;
+}
+
+double norm_inf(const Vector& v) noexcept {
+  double acc = 0.0;
+  for (double x : v) acc = std::max(acc, std::abs(x));
+  return acc;
+}
+
+std::size_t count_above(const Vector& v, double tol) noexcept {
+  std::size_t count = 0;
+  for (double x : v) {
+    if (std::abs(x) > tol) ++count;
+  }
+  return count;
+}
+
+double mean(const Vector& v) noexcept {
+  if (v.empty()) return 0.0;
+  const double sum = std::accumulate(v.begin(), v.end(), 0.0);
+  return sum / static_cast<double>(v.size());
+}
+
+}  // namespace csecg::linalg

@@ -1,0 +1,42 @@
+// Summary statistics used by the experiment harness (Fig. 7 averages and
+// the Fig. 8 box plots).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace csecg::metrics {
+
+/// Basic moments and order statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n−1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes a Summary.  Throws std::invalid_argument on an empty sample.
+Summary summarize(const std::vector<double>& values);
+
+/// Linear-interpolation percentile, p ∈ [0, 100].
+/// Throws std::invalid_argument on an empty sample or p out of range.
+double percentile(std::vector<double> values, double p);
+
+/// MATLAB-boxplot-compatible statistics: quartiles, whiskers at the most
+/// extreme data points within 1.5·IQR of the box, and the outliers beyond
+/// them — matching the paper's Fig. 8 description verbatim.
+struct BoxStats {
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double whisker_low = 0.0;
+  double whisker_high = 0.0;
+  std::vector<double> outliers;
+};
+
+/// Computes BoxStats.  Throws std::invalid_argument on an empty sample.
+BoxStats box_stats(const std::vector<double>& values);
+
+}  // namespace csecg::metrics

@@ -1,0 +1,74 @@
+#include "csecg/metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::metrics {
+
+Summary summarize(const std::vector<double>& values) {
+  CSECG_CHECK(!values.empty(), "summarize: empty sample");
+  Summary s;
+  s.count = values.size();
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1
+                 ? std::sqrt(ss / static_cast<double>(s.count - 1))
+                 : 0.0;
+  s.median = percentile(values, 50.0);
+  return s;
+}
+
+double percentile(std::vector<double> values, double p) {
+  CSECG_CHECK(!values.empty(), "percentile: empty sample");
+  CSECG_CHECK(p >= 0.0 && p <= 100.0, "percentile: p out of range: " << p);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+BoxStats box_stats(const std::vector<double>& values) {
+  CSECG_CHECK(!values.empty(), "box_stats: empty sample");
+  BoxStats b;
+  b.q1 = percentile(values, 25.0);
+  b.median = percentile(values, 50.0);
+  b.q3 = percentile(values, 75.0);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_low = b.q3;
+  b.whisker_high = b.q1;
+  bool any_inlier = false;
+  for (double v : values) {
+    if (v >= lo_fence && v <= hi_fence) {
+      if (!any_inlier) {
+        b.whisker_low = v;
+        b.whisker_high = v;
+        any_inlier = true;
+      } else {
+        b.whisker_low = std::min(b.whisker_low, v);
+        b.whisker_high = std::max(b.whisker_high, v);
+      }
+    } else {
+      b.outliers.push_back(v);
+    }
+  }
+  std::sort(b.outliers.begin(), b.outliers.end());
+  return b;
+}
+
+}  // namespace csecg::metrics

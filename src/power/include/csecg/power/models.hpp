@@ -1,0 +1,117 @@
+// Analytical power models of the RMPI / hybrid front-ends (paper §VI).
+//
+// The paper evaluates power purely from the closed-form block models of
+// Chen, Chandrakasan & Stojanovic (JSSC 2012, 90 nm), reproduced here
+// verbatim:
+//
+//   ADC array    P_ADC = (m/n)·FOM·2^B·fs                        (Eq. 4)
+//   Integrator   P_Int = 2·BW_f · m·V_DD²·10π·n·C_p / 16         (Eq. 5)
+//   Amplifiers   P_amp = 2·BW · 3mn·2^(2·B_y) · G_A²·NEF²/V_DD
+//                        · π(kT)²/q                              (Eq. 9)
+//
+// with BW = BW_f = fs/2 the signal bandwidth.  Every block's power is
+// proportional to the channel count m, which is why the paper's headline
+// ratios (240/96 ≈ 2.5×, 176/16 = 11×) follow directly from the
+// measurement counts the recovery experiments produce; the hybrid design
+// only adds one Nyquist-rate low-resolution ADC on top.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace csecg::power {
+
+/// Process/circuit constants (90 nm defaults per the paper's references).
+struct TechnologyParams {
+  double fom_j_per_conv = 100e-15;  ///< ADC figure of merit, J/conv-step.
+  double vdd = 1.0;                 ///< Supply voltage (V).
+  double nef = 2.5;                 ///< Amplifier noise-efficiency factor
+                                    ///< (paper: "between 2 and 3").
+  double temperature_k = 300.0;     ///< Absolute temperature.
+  double cp_farad = 1e-12;          ///< OTA dominant-pole capacitance.
+  double gain_db = 40.0;            ///< G_A, total front-end voltage gain
+                                    ///< (paper: 40 dB for ECG).
+};
+
+/// Validates TechnologyParams; throws std::invalid_argument on nonsense.
+void validate(const TechnologyParams& params);
+
+/// One front-end design point.
+struct RmpiDesign {
+  std::size_t channels = 240;  ///< m — parallel channels.
+  std::size_t window = 512;    ///< n — samples per processing window.
+  int adc_bits = 12;           ///< B — per-channel measurement ADC.
+  int amp_output_bits = 10;    ///< B_y — resolution preserved by the amp.
+  double nyquist_hz = 720.0;   ///< fs — the input Nyquist sampling rate;
+                               ///< signal bandwidth is fs/2.
+};
+
+/// Validates an RmpiDesign; throws std::invalid_argument on nonsense.
+void validate(const RmpiDesign& design);
+
+/// Eq. 4: power of the array of m window-rate ADCs, in watts.
+double adc_power(std::size_t channels, std::size_t window, int adc_bits,
+                 double nyquist_hz, const TechnologyParams& params);
+
+/// Eq. 5: power of the m integrators + sample/hold, in watts.
+double integrator_power(std::size_t channels, std::size_t window,
+                        double nyquist_hz, const TechnologyParams& params);
+
+/// Eq. 9: power of the m front-end amplifiers, in watts.
+double amplifier_power(std::size_t channels, std::size_t window,
+                       int amp_output_bits, double nyquist_hz,
+                       const TechnologyParams& params);
+
+/// Block-level breakdown (watts).
+struct PowerBreakdown {
+  double adc = 0.0;
+  double integrator = 0.0;
+  double amplifier = 0.0;
+  double total() const noexcept { return adc + integrator + amplifier; }
+};
+
+/// Full RMPI power at a design point.
+PowerBreakdown rmpi_power(const RmpiDesign& design,
+                          const TechnologyParams& params);
+
+/// Hybrid front-end: a CS path with (fewer) channels plus the parallel
+/// Nyquist-rate low-resolution ADC.
+struct HybridDesign {
+  RmpiDesign cs_path;      ///< With the hybrid's reduced channel count.
+  int lowres_bits = 7;     ///< Resolution of the parallel ADC.
+};
+
+/// Validates a HybridDesign; throws std::invalid_argument on nonsense.
+void validate(const HybridDesign& design);
+
+/// Hybrid breakdown: CS-path blocks plus the low-resolution ADC.
+struct HybridPowerBreakdown {
+  PowerBreakdown cs;
+  double lowres_adc = 0.0;
+  double total() const noexcept { return cs.total() + lowres_adc; }
+};
+
+/// Power of the Nyquist-rate low-resolution ADC alone: FOM·2^bits·fs.
+double lowres_adc_power(int bits, double nyquist_hz,
+                        const TechnologyParams& params);
+
+/// Full hybrid power at a design point.
+HybridPowerBreakdown hybrid_power(const HybridDesign& design,
+                                  const TechnologyParams& params);
+
+/// One row of the Fig. 11 sweep.
+struct SweepPoint {
+  double nyquist_hz = 0.0;
+  PowerBreakdown breakdown;
+};
+
+/// Logarithmic frequency sweep of an RMPI design (Fig. 11): the design is
+/// evaluated at `points` frequencies geometrically spaced over
+/// [f_lo, f_hi].  Throws std::invalid_argument unless 0 < f_lo < f_hi and
+/// points ≥ 2.
+std::vector<SweepPoint> frequency_sweep(const RmpiDesign& design,
+                                        const TechnologyParams& params,
+                                        double f_lo_hz, double f_hi_hz,
+                                        int points);
+
+}  // namespace csecg::power

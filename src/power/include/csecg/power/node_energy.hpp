@@ -1,0 +1,52 @@
+// Whole-node energy model: analog front-end + radio.
+//
+// The paper prices the analog front-end (Eq. 4/5/9); a WBSN node also
+// pays the radio per transmitted bit — the very cost compression exists
+// to cut (the authors' TBME'11 paper frames CS-ECG exactly this way).
+// Combining both exposes the system-level optimum: more channels cost
+// analog power *and* air bits, so node energy is monotone in m and the
+// question becomes how few channels the decoder can tolerate — which is
+// what the hybrid changes.
+#pragma once
+
+#include <cstddef>
+
+#include "csecg/power/models.hpp"
+
+namespace csecg::power {
+
+/// Radio / digital energy constants (typical 2.4 GHz WBSN numbers).
+struct NodeEnergyParams {
+  double radio_nj_per_bit = 50.0;  ///< TX energy per air bit.
+  double mcu_nj_per_coded_bit = 2.0;  ///< Huffman/packing digital cost.
+};
+
+/// Validates NodeEnergyParams; throws std::invalid_argument on negatives.
+void validate(const NodeEnergyParams& params);
+
+/// Per-window node energy breakdown (joules).
+struct NodeEnergy {
+  double analog = 0.0;  ///< Front-end power × window duration.
+  double radio = 0.0;   ///< Air bits × energy/bit.
+  double digital = 0.0; ///< Coded bits × MCU energy/bit.
+  double total() const noexcept { return analog + radio + digital; }
+};
+
+/// Energy of one processing window for a hybrid design transmitting
+/// `air_bits` (CS measurements + coded low-res stream).
+/// `window_seconds` = n / fs.
+NodeEnergy window_energy(const HybridDesign& design,
+                         const TechnologyParams& tech,
+                         const NodeEnergyParams& node,
+                         std::size_t air_bits, double window_seconds);
+
+/// Same for a plain RMPI design (no side channel).
+NodeEnergy window_energy(const RmpiDesign& design,
+                         const TechnologyParams& tech,
+                         const NodeEnergyParams& node,
+                         std::size_t air_bits, double window_seconds);
+
+/// Average node power in watts given per-window energy and duration.
+double average_power(const NodeEnergy& energy, double window_seconds);
+
+}  // namespace csecg::power

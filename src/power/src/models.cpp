@@ -1,0 +1,144 @@
+#include "csecg/power/models.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::power {
+namespace {
+
+constexpr double kBoltzmann = 1.380649e-23;      // J/K.
+constexpr double kElectronCharge = 1.602176634e-19;  // C.
+
+}  // namespace
+
+void validate(const TechnologyParams& params) {
+  CSECG_CHECK(params.fom_j_per_conv > 0.0,
+              "TechnologyParams: FOM must be positive");
+  CSECG_CHECK(params.vdd > 0.0, "TechnologyParams: VDD must be positive");
+  CSECG_CHECK(params.nef > 0.0, "TechnologyParams: NEF must be positive");
+  CSECG_CHECK(params.temperature_k > 0.0,
+              "TechnologyParams: temperature must be positive");
+  CSECG_CHECK(params.cp_farad > 0.0,
+              "TechnologyParams: Cp must be positive");
+  CSECG_CHECK(params.gain_db > 0.0,
+              "TechnologyParams: gain must be positive");
+}
+
+void validate(const RmpiDesign& design) {
+  CSECG_CHECK(design.channels > 0, "RmpiDesign: channels must be positive");
+  CSECG_CHECK(design.window > 0, "RmpiDesign: window must be positive");
+  CSECG_CHECK(design.channels <= design.window,
+              "RmpiDesign: more channels than window samples");
+  CSECG_CHECK(design.adc_bits >= 1 && design.adc_bits <= 24,
+              "RmpiDesign: adc_bits out of range");
+  CSECG_CHECK(design.amp_output_bits >= 1 && design.amp_output_bits <= 24,
+              "RmpiDesign: amp_output_bits out of range");
+  CSECG_CHECK(design.nyquist_hz > 0.0,
+              "RmpiDesign: nyquist_hz must be positive");
+}
+
+void validate(const HybridDesign& design) {
+  validate(design.cs_path);
+  CSECG_CHECK(design.lowres_bits >= 1 && design.lowres_bits <= 24,
+              "HybridDesign: lowres_bits out of range");
+}
+
+double adc_power(std::size_t channels, std::size_t window, int adc_bits,
+                 double nyquist_hz, const TechnologyParams& params) {
+  validate(params);
+  CSECG_CHECK(channels > 0 && window > 0 && nyquist_hz > 0.0,
+              "adc_power: invalid design point");
+  // Eq. 4: each of the m ADCs converts once per n-sample window.
+  const double conversions_per_second =
+      static_cast<double>(channels) / static_cast<double>(window) *
+      nyquist_hz;
+  return conversions_per_second * params.fom_j_per_conv *
+         std::pow(2.0, adc_bits);
+}
+
+double integrator_power(std::size_t channels, std::size_t window,
+                        double nyquist_hz, const TechnologyParams& params) {
+  validate(params);
+  CSECG_CHECK(channels > 0 && window > 0 && nyquist_hz > 0.0,
+              "integrator_power: invalid design point");
+  // Eq. 5 with BW_f = fs/2.
+  const double bw = nyquist_hz / 2.0;
+  return 2.0 * bw * static_cast<double>(channels) * params.vdd * params.vdd *
+         10.0 * std::numbers::pi * static_cast<double>(window) *
+         params.cp_farad / 16.0;
+}
+
+double amplifier_power(std::size_t channels, std::size_t window,
+                       int amp_output_bits, double nyquist_hz,
+                       const TechnologyParams& params) {
+  validate(params);
+  CSECG_CHECK(channels > 0 && window > 0 && nyquist_hz > 0.0,
+              "amplifier_power: invalid design point");
+  // Eq. 9 with BW = fs/2.
+  const double bw = nyquist_hz / 2.0;
+  const double gain_linear = std::pow(10.0, params.gain_db / 20.0);
+  const double kt = kBoltzmann * params.temperature_k;
+  return 2.0 * bw * 3.0 * static_cast<double>(channels) *
+         static_cast<double>(window) *
+         std::pow(2.0, 2.0 * amp_output_bits) *
+         (gain_linear * gain_linear * params.nef * params.nef / params.vdd) *
+         std::numbers::pi * kt * kt / kElectronCharge;
+}
+
+PowerBreakdown rmpi_power(const RmpiDesign& design,
+                          const TechnologyParams& params) {
+  validate(design);
+  PowerBreakdown out;
+  out.adc = adc_power(design.channels, design.window, design.adc_bits,
+                      design.nyquist_hz, params);
+  out.integrator = integrator_power(design.channels, design.window,
+                                    design.nyquist_hz, params);
+  out.amplifier =
+      amplifier_power(design.channels, design.window, design.amp_output_bits,
+                      design.nyquist_hz, params);
+  return out;
+}
+
+double lowres_adc_power(int bits, double nyquist_hz,
+                        const TechnologyParams& params) {
+  validate(params);
+  CSECG_CHECK(bits >= 1 && bits <= 24, "lowres_adc_power: bits out of range");
+  CSECG_CHECK(nyquist_hz > 0.0, "lowres_adc_power: fs must be positive");
+  // One conversion per Nyquist sample.
+  return nyquist_hz * params.fom_j_per_conv * std::pow(2.0, bits);
+}
+
+HybridPowerBreakdown hybrid_power(const HybridDesign& design,
+                                  const TechnologyParams& params) {
+  validate(design);
+  HybridPowerBreakdown out;
+  out.cs = rmpi_power(design.cs_path, params);
+  out.lowres_adc = lowres_adc_power(design.lowres_bits,
+                                    design.cs_path.nyquist_hz, params);
+  return out;
+}
+
+std::vector<SweepPoint> frequency_sweep(const RmpiDesign& design,
+                                        const TechnologyParams& params,
+                                        double f_lo_hz, double f_hi_hz,
+                                        int points) {
+  validate(design);
+  CSECG_CHECK(f_lo_hz > 0.0 && f_hi_hz > f_lo_hz,
+              "frequency_sweep: need 0 < f_lo < f_hi");
+  CSECG_CHECK(points >= 2, "frequency_sweep: need at least 2 points");
+  std::vector<SweepPoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  const double log_lo = std::log10(f_lo_hz);
+  const double log_hi = std::log10(f_hi_hz);
+  for (int i = 0; i < points; ++i) {
+    const double frac = static_cast<double>(i) / (points - 1);
+    RmpiDesign point = design;
+    point.nyquist_hz = std::pow(10.0, log_lo + frac * (log_hi - log_lo));
+    out.push_back({point.nyquist_hz, rmpi_power(point, params)});
+  }
+  return out;
+}
+
+}  // namespace csecg::power

@@ -1,0 +1,52 @@
+#include "csecg/power/node_energy.hpp"
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::power {
+namespace {
+
+NodeEnergy assemble(double analog_watts, const NodeEnergyParams& node,
+                    std::size_t air_bits, double window_seconds) {
+  CSECG_CHECK(window_seconds > 0.0,
+              "window_energy: window duration must be positive");
+  NodeEnergy out;
+  out.analog = analog_watts * window_seconds;
+  out.radio = static_cast<double>(air_bits) * node.radio_nj_per_bit * 1e-9;
+  out.digital =
+      static_cast<double>(air_bits) * node.mcu_nj_per_coded_bit * 1e-9;
+  return out;
+}
+
+}  // namespace
+
+void validate(const NodeEnergyParams& params) {
+  CSECG_CHECK(params.radio_nj_per_bit >= 0.0 &&
+                  params.mcu_nj_per_coded_bit >= 0.0,
+              "NodeEnergyParams: energies must be non-negative");
+}
+
+NodeEnergy window_energy(const HybridDesign& design,
+                         const TechnologyParams& tech,
+                         const NodeEnergyParams& node,
+                         std::size_t air_bits, double window_seconds) {
+  validate(node);
+  return assemble(hybrid_power(design, tech).total(), node, air_bits,
+                  window_seconds);
+}
+
+NodeEnergy window_energy(const RmpiDesign& design,
+                         const TechnologyParams& tech,
+                         const NodeEnergyParams& node,
+                         std::size_t air_bits, double window_seconds) {
+  validate(node);
+  return assemble(rmpi_power(design, tech).total(), node, air_bits,
+                  window_seconds);
+}
+
+double average_power(const NodeEnergy& energy, double window_seconds) {
+  CSECG_CHECK(window_seconds > 0.0,
+              "average_power: window duration must be positive");
+  return energy.total() / window_seconds;
+}
+
+}  // namespace csecg::power

@@ -1,0 +1,42 @@
+// ADMM for the synthesis-form LASSO with a dense measurement matrix.
+//
+//   min_α  ½‖Aα − y‖₂² + λ‖α‖₁
+//
+// Splitting α/z with the classic scaled-dual ADMM.  The α-update solves
+// (AᵀA + ρI)α = Aᵀy + ρ(z − u); for the fat matrices of CS (m ≪ n) the
+// inverse is applied through the Woodbury identity using one m×m Cholesky
+// factored at setup, so each iteration costs two gemv's.  Second solver
+// baseline for the ablation bench (same optimum as FISTA, different path).
+#pragma once
+
+#include "csecg/linalg/matrix.hpp"
+#include "csecg/linalg/vector.hpp"
+
+namespace csecg::recovery {
+
+/// ADMM options.
+struct AdmmOptions {
+  int max_iterations = 500;
+  double rho = 1.0;            ///< Augmented-Lagrangian penalty.
+  double abs_tol = 1e-6;       ///< Absolute primal/dual residual floor.
+  double rel_tol = 1e-5;       ///< Relative residual tolerance.
+};
+
+/// Validates AdmmOptions; throws std::invalid_argument on nonsense.
+void validate(const AdmmOptions& options);
+
+/// ADMM outcome.
+struct AdmmResult {
+  linalg::Vector coefficients;  ///< Recovered α (the z iterate: sparse).
+  int iterations = 0;
+  bool converged = false;
+  double objective = 0.0;
+  double primal_residual = 0.0;  ///< ‖α − z‖₂ at exit.
+  double dual_residual = 0.0;    ///< ρ‖z − z_prev‖₂ at exit.
+};
+
+/// Runs ADMM on min ½‖Aα−y‖² + λ‖α‖₁ with a dense A (m ≤ n enforced).
+AdmmResult solve_lasso_admm(const linalg::Matrix& a, const linalg::Vector& y,
+                            double lambda, const AdmmOptions& options = {});
+
+}  // namespace csecg::recovery

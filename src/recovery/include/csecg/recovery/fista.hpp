@@ -1,0 +1,39 @@
+// FISTA for the synthesis-form LASSO.
+//
+//   min_α  ½‖Aα − y‖₂² + λ‖α‖₁,     A = ΦΨ
+//
+// The accelerated proximal-gradient baseline: O(1/k²) objective decay with
+// only A/Aᵀ products.  Used as an unconstrained baseline and for the
+// solver-ablation bench; the paper's own decoders are the constrained
+// forms in pdhg.hpp.
+#pragma once
+
+#include "csecg/linalg/operator.hpp"
+#include "csecg/linalg/vector.hpp"
+
+namespace csecg::recovery {
+
+/// FISTA options.
+struct FistaOptions {
+  int max_iterations = 500;
+  double tol = 1e-8;        ///< Relative α-change stopping tolerance.
+  double lipschitz_hint = 0.0;  ///< Known ‖A‖² (0 = estimate).
+};
+
+/// Validates FistaOptions; throws std::invalid_argument on nonsense.
+void validate(const FistaOptions& options);
+
+/// FISTA outcome.
+struct FistaResult {
+  linalg::Vector coefficients;  ///< Recovered α.
+  int iterations = 0;
+  bool converged = false;
+  double objective = 0.0;  ///< ½‖Aα−y‖² + λ‖α‖₁ at exit.
+};
+
+/// Runs FISTA on min ½‖Aα−y‖² + λ‖α‖₁.  λ must be positive.
+FistaResult solve_lasso_fista(const linalg::LinearOperator& a,
+                              const linalg::Vector& y, double lambda,
+                              const FistaOptions& options = {});
+
+}  // namespace csecg::recovery

@@ -1,0 +1,45 @@
+// Greedy sparse recovery: OMP and CoSaMP.
+//
+// Classical pursuit baselines over a dense dictionary A (m×n, m ≤ n).
+// The paper's introduction cites model-based / structured recovery as the
+// other road to fewer measurements; these greedy solvers bound what plain
+// support-pursuit achieves on the same windows (ablation bench).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "csecg/linalg/matrix.hpp"
+#include "csecg/linalg/vector.hpp"
+
+namespace csecg::recovery {
+
+/// Greedy-solver options.
+struct GreedyOptions {
+  std::size_t max_sparsity = 64;     ///< Support-size budget k.
+  double residual_tol = 1e-9;        ///< Stop when ‖r‖₂ ≤ tol·‖y‖₂.
+  int max_iterations = 0;            ///< 0 = defaults (k for OMP, 3k CoSaMP).
+};
+
+/// Validates GreedyOptions; throws std::invalid_argument on nonsense.
+void validate(const GreedyOptions& options);
+
+/// Greedy-solver outcome.
+struct GreedyResult {
+  linalg::Vector coefficients;     ///< Recovered α (exactly sparse).
+  std::vector<std::size_t> support;  ///< Selected columns, in pick order.
+  int iterations = 0;
+  double residual_norm = 0.0;      ///< ‖y − Aα‖₂ at exit.
+  bool converged = false;          ///< Residual tolerance reached.
+};
+
+/// Orthogonal Matching Pursuit: one column per iteration, full
+/// least-squares refit on the grown support.
+GreedyResult solve_omp(const linalg::Matrix& a, const linalg::Vector& y,
+                       const GreedyOptions& options = {});
+
+/// CoSaMP (Needell & Tropp): 2k-candidate merge, least-squares, prune to k.
+GreedyResult solve_cosamp(const linalg::Matrix& a, const linalg::Vector& y,
+                          const GreedyOptions& options = {});
+
+}  // namespace csecg::recovery

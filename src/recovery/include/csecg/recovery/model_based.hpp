@@ -1,0 +1,77 @@
+// Model-based (structured) sparse recovery.
+//
+// The paper's introduction points at "model-based and similar structural
+// sparse recovery techniques" (Baraniuk et al., IEEE TIT 2010; the
+// authors' own BioCAS'11 comparison) as the other way to shrink the
+// measurement count.  This module implements the two classic structured
+// models for wavelet-sparse signals:
+//
+//  * BlockModel — coefficients live in contiguous blocks (QRS complexes
+//    excite bursts of neighbouring wavelet coefficients).  Model-CoSaMP
+//    replaces per-coefficient selection with per-block selection.
+//  * TreeModel — significant wavelet coefficients form a rooted subtree
+//    of the dyadic parent/child pyramid.  tree_project() computes a
+//    greedy ancestor-closed approximation used by tree-structured CoSaMP.
+//
+// The ablate_structured bench compares both against plain pursuit on real
+// ECG windows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "csecg/linalg/matrix.hpp"
+#include "csecg/linalg/vector.hpp"
+#include "csecg/recovery/greedy.hpp"
+
+namespace csecg::recovery {
+
+/// Contiguous-block structured-sparsity model.
+struct BlockModel {
+  std::size_t block_size = 4;  ///< Coefficients per block (must divide n).
+};
+
+/// Validates a BlockModel for a signal length; throws on nonsense.
+void validate(const BlockModel& model, std::size_t n);
+
+/// Keeps the k blocks with the largest ℓ2 energy, zeroing the rest.
+linalg::Vector block_project(const linalg::Vector& coeffs,
+                             const BlockModel& model, std::size_t k_blocks);
+
+/// Indices of the k highest-energy blocks' coefficients (sorted).
+std::vector<std::size_t> block_support(const linalg::Vector& coeffs,
+                                       const BlockModel& model,
+                                       std::size_t k_blocks);
+
+/// Dyadic wavelet tree for the pyramid coefficient layout produced by
+/// csecg::dsp::Dwt: [approx | detail_L | ... | detail_1].
+struct TreeModel {
+  std::size_t n = 0;   ///< Total coefficients (power-of-two multiple).
+  int levels = 0;      ///< Decomposition levels.
+
+  /// Parent index of coefficient i, or npos for roots (approx band and
+  /// the coarsest detail band).
+  std::size_t parent(std::size_t i) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Validates a TreeModel; throws std::invalid_argument on nonsense.
+void validate(const TreeModel& model);
+
+/// Greedy ancestor-closed k-sparse approximation: picks coefficients in
+/// descending magnitude, adding every not-yet-selected ancestor with it,
+/// until the budget k is met (possibly slightly exceeded by one closure).
+/// The result is always a rooted subtree of the wavelet pyramid.
+linalg::Vector tree_project(const linalg::Vector& coeffs,
+                            const TreeModel& model, std::size_t k);
+
+/// CoSaMP with a block model: identification takes the 2k best blocks of
+/// the proxy, pruning keeps the k best blocks of the least-squares fit.
+GreedyResult solve_block_cosamp(const linalg::Matrix& a,
+                                const linalg::Vector& y,
+                                const BlockModel& model,
+                                std::size_t k_blocks,
+                                const GreedyOptions& options = {});
+
+}  // namespace csecg::recovery

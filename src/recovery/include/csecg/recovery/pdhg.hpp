@@ -1,0 +1,86 @@
+// Primal-dual (Chambolle–Pock / PDHG) solver for the paper's problem (1).
+//
+// The paper solves, with SDPT3,
+//
+//   min ‖α‖₁  s.t.  ‖ΦΨα − y‖₂ ≤ σ,   ẋ ≤ Ψα ≤ ẋ + d            (1)
+//
+// With an *orthonormal* Ψ this is equivalent, through x = Ψα, to the
+// analysis form
+//
+//   min ‖Ψᵀx‖₁  s.t.  ‖Φx − y‖₂ ≤ σ,   l ≤ x ≤ u
+//
+// which PDHG handles with only Φ/Φᵀ and Ψ/Ψᵀ products: write it as
+// G(x) + F(Kx) with G = ‖Ψᵀ·‖₁ (prox = Ψ∘soft∘Ψᵀ), K = [Φ; I], and
+// F(q₁,q₂) = δ_ball(q₁) + δ_box(q₂) (prox of F* by Moreau).  Dropping the
+// box block gives the "normal CS" baseline of Fig. 7/8 — the same
+// constrained basis-pursuit-denoise the paper's non-hybrid decoder solves.
+#pragma once
+
+#include <optional>
+
+#include "csecg/linalg/operator.hpp"
+#include "csecg/linalg/vector.hpp"
+
+namespace csecg::recovery {
+
+/// Optional per-sample box constraint l ≤ x ≤ u.
+struct BoxConstraint {
+  linalg::Vector lower;
+  linalg::Vector upper;
+};
+
+/// PDHG options.
+struct PdhgOptions {
+  int max_iterations = 2000;
+  /// Relative x-change stopping tolerance.
+  double tol = 1e-6;
+  /// Allowed constraint violation at exit, relative to ‖y‖ (ball) and to
+  /// the box width (box).
+  double feasibility_tol = 1e-4;
+  /// Check convergence every this many iterations.
+  int check_every = 10;
+  /// Over-relaxation θ (1 = plain CP).
+  double theta = 1.0;
+  /// Safety factor on the 1/‖K‖ step sizes.
+  double step_safety = 0.99;
+  /// Ratio σ_dual/τ_primal (1 = balanced); tuning knob only.
+  double dual_primal_ratio = 1.0;
+  /// Known ‖Φ‖₂, to skip the internal power iteration when the caller
+  /// reuses one sensing operator across many solves.  0 = estimate.
+  double phi_norm_hint = 0.0;
+  /// Optional warm start for the primal variable (empty = default start:
+  /// box midpoint when a box is given, zero otherwise).  A measurement-
+  /// consistent start such as the least-norm solution Φᵀ(ΦΦᵀ)⁻¹y cuts the
+  /// iteration count dramatically for the unconstrained baseline.
+  linalg::Vector x0;
+  /// Optional per-coefficient ℓ1 weights (empty = all ones): the objective
+  /// becomes Σᵢ wᵢ·|（Ψᵀx)ᵢ|.  Used by the reweighted-ℓ1 wrapper.
+  linalg::Vector coefficient_weights;
+};
+
+/// Validates PdhgOptions; throws std::invalid_argument on nonsense.
+void validate(const PdhgOptions& options);
+
+/// Solver outcome.
+struct PdhgResult {
+  linalg::Vector x;        ///< Recovered sample-domain signal.
+  int iterations = 0;
+  bool converged = false;  ///< Tolerances met before the iteration cap.
+  double objective = 0.0;  ///< ‖Ψᵀx‖₁ at exit.
+  double ball_violation = 0.0;  ///< max(0, ‖Φx−y‖₂ − σ) at exit.
+  double box_violation = 0.0;   ///< max over samples of box violation.
+};
+
+/// Solves   min ‖Ψᵀx‖₁  s.t. ‖Φx−y‖₂ ≤ σ  [and l ≤ x ≤ u if box given].
+///
+/// `phi` is the m×n measurement operator, `psi` the n×n orthonormal
+/// synthesis operator (apply = Ψ, apply_adjoint = Ψᵀ), `sigma` the fidelity
+/// radius (≥ 0).  The box, when present, must have matching dimensions and
+/// non-empty cells.  Throws std::invalid_argument on dimension errors.
+PdhgResult solve_bpdn(const linalg::LinearOperator& phi,
+                      const linalg::LinearOperator& psi,
+                      const linalg::Vector& y, double sigma,
+                      const std::optional<BoxConstraint>& box = std::nullopt,
+                      const PdhgOptions& options = {});
+
+}  // namespace csecg::recovery

@@ -1,0 +1,37 @@
+// Iteratively reweighted ℓ1 (Candès–Wakin–Boyd 2008).
+//
+// Enhances BPDN by alternating: solve the weighted problem, then set
+// wᵢ = 1/(|αᵢ| + ε) so established coefficients stop paying ℓ1 rent.
+// In the paper's framing this is a *software* route to fewer measurements
+// (better recovery per measurement); the hybrid's low-resolution channel
+// is the *hardware* route — the ablate_reweighted bench puts them side by
+// side on ECG windows.
+#pragma once
+
+#include <optional>
+
+#include "csecg/recovery/pdhg.hpp"
+
+namespace csecg::recovery {
+
+/// Reweighting options.
+struct ReweightedOptions {
+  int rounds = 3;        ///< Reweighting rounds (1 = plain BPDN).
+  double epsilon = 0.0;  ///< Weight damping; 0 = auto (0.1·max|α| of the
+                         ///< first round, the reference heuristic).
+  PdhgOptions solver;    ///< Inner-solve options.
+};
+
+/// Validates ReweightedOptions; throws std::invalid_argument on nonsense.
+void validate(const ReweightedOptions& options);
+
+/// Solves min Σ wᵢ|（Ψᵀx)ᵢ| s.t. ‖Φx−y‖ ≤ σ [, box] with iteratively
+/// refined weights.  Returns the final round's PdhgResult; `objective` is
+/// the *unweighted* ‖Ψᵀx‖₁ for comparability.
+PdhgResult solve_reweighted_bpdn(
+    const linalg::LinearOperator& phi, const linalg::LinearOperator& psi,
+    const linalg::Vector& y, double sigma,
+    const std::optional<BoxConstraint>& box = std::nullopt,
+    const ReweightedOptions& options = {});
+
+}  // namespace csecg::recovery

@@ -1,0 +1,53 @@
+// SPGL1-style Pareto root-finding for basis pursuit denoise.
+//
+// Van den Berg & Friedlander (SIAM J. Sci. Comput. 2008) solve the
+// σ-constrained BPDN by Newton root-finding on the Pareto curve
+// φ(τ) = ‖A·α_τ − y‖₂ of the LASSO-constrained subproblem
+//
+//   α_τ = argmin ‖Aα − y‖₂   s.t.  ‖α‖₁ ≤ τ,
+//
+// using φ'(τ) = −‖Aᵀr‖∞ / ‖r‖₂.  Each subproblem is solved by projected
+// gradient descent onto the ℓ1 ball.  This is the third independent road
+// to the paper's "normal CS" decoder (after PDHG and the LASSO-λ
+// solvers): same optimum, very different mechanics — a strong
+// cross-validation target for the solver ablation.
+#pragma once
+
+#include "csecg/linalg/operator.hpp"
+#include "csecg/linalg/vector.hpp"
+
+namespace csecg::recovery {
+
+/// Euclidean projection onto the ℓ1 ball of the given radius (Duchi et
+/// al. 2008, O(n log n) sort-based).  radius must be ≥ 0.
+linalg::Vector project_l1_ball(const linalg::Vector& v, double radius);
+
+/// SPGL1 options.
+struct Spgl1Options {
+  int max_root_iterations = 12;   ///< Newton steps on the Pareto curve.
+  int max_inner_iterations = 300; ///< Projected-gradient steps per τ.
+  double inner_tol = 1e-7;        ///< Relative α-change tolerance.
+  double root_tol = 1e-3;         ///< |φ(τ) − σ| / max(‖y‖,1) tolerance.
+};
+
+/// Validates Spgl1Options; throws std::invalid_argument on nonsense.
+void validate(const Spgl1Options& options);
+
+/// SPGL1 outcome.
+struct Spgl1Result {
+  linalg::Vector coefficients;  ///< Recovered α.
+  double tau = 0.0;             ///< Final ℓ1 radius on the Pareto curve.
+  double residual_norm = 0.0;   ///< φ(τ) at exit.
+  int root_iterations = 0;
+  int total_inner_iterations = 0;
+  bool converged = false;       ///< |φ(τ) − σ| within tolerance.
+};
+
+/// Solves min ‖α‖₁ s.t. ‖Aα − y‖₂ ≤ σ by Pareto root-finding.
+/// σ must satisfy 0 ≤ σ < ‖y‖₂ (otherwise α = 0 is the trivial answer,
+/// which is returned with converged = true).
+Spgl1Result solve_bpdn_spgl1(const linalg::LinearOperator& a,
+                             const linalg::Vector& y, double sigma,
+                             const Spgl1Options& options = {});
+
+}  // namespace csecg::recovery

@@ -1,0 +1,96 @@
+#include "csecg/recovery/admm.hpp"
+
+#include <cmath>
+
+#include "csecg/common/check.hpp"
+#include "csecg/linalg/solve.hpp"
+#include "csecg/recovery/prox.hpp"
+
+namespace csecg::recovery {
+
+void validate(const AdmmOptions& options) {
+  CSECG_CHECK(options.max_iterations > 0, "AdmmOptions: max_iterations <= 0");
+  CSECG_CHECK(options.rho > 0.0, "AdmmOptions: rho must be positive");
+  CSECG_CHECK(options.abs_tol > 0.0 && options.rel_tol > 0.0,
+              "AdmmOptions: tolerances must be positive");
+}
+
+AdmmResult solve_lasso_admm(const linalg::Matrix& a, const linalg::Vector& y,
+                            double lambda, const AdmmOptions& options) {
+  validate(options);
+  CSECG_CHECK(lambda > 0.0, "solve_lasso_admm: lambda must be positive");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  CSECG_CHECK(m > 0 && n > 0, "solve_lasso_admm: empty matrix");
+  CSECG_CHECK(m <= n, "solve_lasso_admm expects a fat matrix (m <= n), got "
+                          << m << "x" << n);
+  CSECG_CHECK(y.size() == m, "solve_lasso_admm: y dimension mismatch");
+
+  const double rho = options.rho;
+  // Woodbury: (AᵀA + ρI)⁻¹ v = (v − Aᵀ(ρI + AAᵀ)⁻¹ A v)/ρ.
+  linalg::Matrix gram_small(m, m);  // AAᵀ + ρI.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      double acc = 0.0;
+      const double* ri = a.row(i);
+      const double* rj = a.row(j);
+      for (std::size_t k = 0; k < n; ++k) acc += ri[k] * rj[k];
+      gram_small(i, j) = acc;
+      gram_small(j, i) = acc;
+    }
+    gram_small(i, i) += rho;
+  }
+  const linalg::Cholesky chol(gram_small);
+  const linalg::Vector aty = linalg::multiply_transpose(a, y);
+
+  auto apply_inverse = [&](const linalg::Vector& v) {
+    const linalg::Vector av = linalg::multiply(a, v);
+    const linalg::Vector small = chol.solve(av);
+    linalg::Vector out = v - linalg::multiply_transpose(a, small);
+    out *= 1.0 / rho;
+    return out;
+  };
+
+  linalg::Vector alpha(n);
+  linalg::Vector z(n);
+  linalg::Vector u(n);  // Scaled dual.
+
+  AdmmResult result;
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    // α-update: (AᵀA + ρI)α = Aᵀy + ρ(z − u).
+    linalg::Vector rhs = aty;
+    for (std::size_t i = 0; i < n; ++i) rhs[i] += rho * (z[i] - u[i]);
+    alpha = apply_inverse(rhs);
+    // z-update: soft threshold.
+    linalg::Vector z_prev = z;
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] = soft_threshold(alpha[i] + u[i], lambda / rho);
+    }
+    // Dual update.
+    for (std::size_t i = 0; i < n; ++i) u[i] += alpha[i] - z[i];
+
+    const double primal = linalg::norm2(alpha - z);
+    const double dual = rho * linalg::norm2(z - z_prev);
+    result.iterations = it;
+    result.primal_residual = primal;
+    result.dual_residual = dual;
+    const double primal_eps =
+        sqrt_n * options.abs_tol +
+        options.rel_tol * std::max(linalg::norm2(alpha), linalg::norm2(z));
+    const double dual_eps =
+        sqrt_n * options.abs_tol + options.rel_tol * rho * linalg::norm2(u);
+    if (primal <= primal_eps && dual <= dual_eps) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  const linalg::Vector residual = linalg::multiply(a, z) - y;
+  result.objective =
+      0.5 * linalg::norm2_squared(residual) + lambda * linalg::norm1(z);
+  result.coefficients = std::move(z);
+  return result;
+}
+
+}  // namespace csecg::recovery

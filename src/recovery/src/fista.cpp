@@ -1,0 +1,71 @@
+#include "csecg/recovery/fista.hpp"
+
+#include <cmath>
+
+#include "csecg/common/check.hpp"
+#include "csecg/recovery/prox.hpp"
+
+namespace csecg::recovery {
+
+void validate(const FistaOptions& options) {
+  CSECG_CHECK(options.max_iterations > 0,
+              "FistaOptions: max_iterations <= 0");
+  CSECG_CHECK(options.tol > 0.0, "FistaOptions: tol must be positive");
+  CSECG_CHECK(options.lipschitz_hint >= 0.0,
+              "FistaOptions: lipschitz_hint must be non-negative");
+}
+
+FistaResult solve_lasso_fista(const linalg::LinearOperator& a,
+                              const linalg::Vector& y, double lambda,
+                              const FistaOptions& options) {
+  validate(options);
+  CSECG_CHECK(lambda > 0.0, "solve_lasso_fista: lambda must be positive");
+  CSECG_CHECK(y.size() == a.rows(), "solve_lasso_fista: y has "
+                                        << y.size() << " entries, expected "
+                                        << a.rows());
+  const std::size_t n = a.cols();
+  const double lipschitz =
+      options.lipschitz_hint > 0.0
+          ? options.lipschitz_hint
+          : std::pow(linalg::operator_norm_estimate(a, 60), 2);
+  CSECG_CHECK(lipschitz > 0.0, "solve_lasso_fista: zero operator");
+  const double step = 1.0 / lipschitz;
+
+  linalg::Vector alpha(n);
+  linalg::Vector momentum = alpha;  // The extrapolated point.
+  double t = 1.0;
+
+  FistaResult result;
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    // Gradient of the smooth part at the momentum point.
+    const linalg::Vector residual = a.apply(momentum) - y;
+    const linalg::Vector grad = a.apply_adjoint(residual);
+    linalg::Vector alpha_new(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      alpha_new[i] =
+          soft_threshold(momentum[i] - step * grad[i], step * lambda);
+    }
+    const double t_new = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+    const double beta = (t - 1.0) / t_new;
+    for (std::size_t i = 0; i < n; ++i) {
+      momentum[i] = alpha_new[i] + beta * (alpha_new[i] - alpha[i]);
+    }
+    const double rel_change = linalg::norm2(alpha_new - alpha) /
+                              std::max(linalg::norm2(alpha_new), 1.0);
+    alpha = std::move(alpha_new);
+    t = t_new;
+    result.iterations = it;
+    if (rel_change <= options.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  const linalg::Vector residual = a.apply(alpha) - y;
+  result.objective = 0.5 * linalg::norm2_squared(residual) +
+                     lambda * linalg::norm1(alpha);
+  result.coefficients = std::move(alpha);
+  return result;
+}
+
+}  // namespace csecg::recovery

@@ -1,0 +1,174 @@
+#include "csecg/recovery/greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "csecg/common/check.hpp"
+#include "csecg/linalg/solve.hpp"
+
+namespace csecg::recovery {
+namespace {
+
+/// Dense submatrix of the given columns.
+linalg::Matrix columns(const linalg::Matrix& a,
+                       const std::vector<std::size_t>& cols) {
+  linalg::Matrix sub(a.rows(), cols.size());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) sub(i, j) = row[cols[j]];
+  }
+  return sub;
+}
+
+/// Least squares restricted to a support; returns the dense coefficient
+/// vector (zeros off-support) and the residual.
+void restricted_least_squares(const linalg::Matrix& a,
+                              const linalg::Vector& y,
+                              const std::vector<std::size_t>& support,
+                              linalg::Vector& coeffs,
+                              linalg::Vector& residual) {
+  const linalg::Matrix sub = columns(a, support);
+  const linalg::Vector beta = linalg::least_squares(sub, y);
+  coeffs = linalg::Vector(a.cols());
+  for (std::size_t j = 0; j < support.size(); ++j) {
+    coeffs[support[j]] = beta[j];
+  }
+  residual = y - linalg::multiply(sub, beta);
+}
+
+void check_problem(const linalg::Matrix& a, const linalg::Vector& y,
+                   const GreedyOptions& options) {
+  validate(options);
+  CSECG_CHECK(a.rows() > 0 && a.cols() > 0, "greedy: empty matrix");
+  CSECG_CHECK(y.size() == a.rows(), "greedy: y dimension mismatch");
+  CSECG_CHECK(options.max_sparsity <= a.rows(),
+              "greedy: sparsity " << options.max_sparsity
+                                  << " exceeds measurement count "
+                                  << a.rows());
+}
+
+}  // namespace
+
+void validate(const GreedyOptions& options) {
+  CSECG_CHECK(options.max_sparsity > 0, "GreedyOptions: max_sparsity == 0");
+  CSECG_CHECK(options.residual_tol >= 0.0,
+              "GreedyOptions: residual_tol must be non-negative");
+  CSECG_CHECK(options.max_iterations >= 0,
+              "GreedyOptions: max_iterations must be non-negative");
+}
+
+GreedyResult solve_omp(const linalg::Matrix& a, const linalg::Vector& y,
+                       const GreedyOptions& options) {
+  check_problem(a, y, options);
+  const std::size_t n = a.cols();
+  const double y_norm = std::max(linalg::norm2(y), 1e-300);
+  const int budget = options.max_iterations > 0
+                         ? options.max_iterations
+                         : static_cast<int>(options.max_sparsity);
+
+  GreedyResult result;
+  result.coefficients = linalg::Vector(n);
+  linalg::Vector residual = y;
+  std::vector<bool> picked(n, false);
+
+  for (int it = 0; it < budget &&
+                   result.support.size() < options.max_sparsity;
+       ++it) {
+    if (linalg::norm2(residual) <= options.residual_tol * y_norm) break;
+    // Pick the column most correlated with the residual.
+    const linalg::Vector corr = linalg::multiply_transpose(a, residual);
+    std::size_t best = n;
+    double best_abs = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (picked[j]) continue;
+      const double c = std::abs(corr[j]);
+      if (c > best_abs) {
+        best_abs = c;
+        best = j;
+      }
+    }
+    if (best == n || best_abs == 0.0) break;  // Residual orthogonal to A.
+    picked[best] = true;
+    result.support.push_back(best);
+    restricted_least_squares(a, y, result.support, result.coefficients,
+                             residual);
+    result.iterations = it + 1;
+  }
+
+  result.residual_norm = linalg::norm2(residual);
+  result.converged = result.residual_norm <= options.residual_tol * y_norm;
+  return result;
+}
+
+GreedyResult solve_cosamp(const linalg::Matrix& a, const linalg::Vector& y,
+                          const GreedyOptions& options) {
+  check_problem(a, y, options);
+  const std::size_t n = a.cols();
+  const std::size_t k = options.max_sparsity;
+  const double y_norm = std::max(linalg::norm2(y), 1e-300);
+  const int budget = options.max_iterations > 0
+                         ? options.max_iterations
+                         : static_cast<int>(3 * k);
+
+  GreedyResult result;
+  result.coefficients = linalg::Vector(n);
+  linalg::Vector residual = y;
+  double prev_residual = linalg::norm2(residual);
+
+  for (int it = 0; it < budget; ++it) {
+    if (linalg::norm2(residual) <= options.residual_tol * y_norm) break;
+    // Identify the 2k strongest correlations.
+    const linalg::Vector corr = linalg::multiply_transpose(a, residual);
+    std::vector<std::size_t> order(n);
+    for (std::size_t j = 0; j < n; ++j) order[j] = j;
+    const std::size_t take = std::min(2 * k, n);
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(take),
+                      order.end(), [&corr](std::size_t p, std::size_t q) {
+                        return std::abs(corr[p]) > std::abs(corr[q]);
+                      });
+    // Merge with the current support.
+    std::vector<std::size_t> merged(order.begin(),
+                                    order.begin() + static_cast<long>(take));
+    for (std::size_t j = 0; j < n; ++j) {
+      if (result.coefficients[j] != 0.0) merged.push_back(j);
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    // Cap the merged support at m so least squares stays overdetermined.
+    if (merged.size() > a.rows()) {
+      std::sort(merged.begin(), merged.end(),
+                [&corr](std::size_t p, std::size_t q) {
+                  return std::abs(corr[p]) > std::abs(corr[q]);
+                });
+      merged.resize(a.rows());
+      std::sort(merged.begin(), merged.end());
+    }
+
+    linalg::Vector coeffs;
+    linalg::Vector merged_residual;
+    restricted_least_squares(a, y, merged, coeffs, merged_residual);
+
+    // Prune to the k largest coefficients.
+    std::vector<std::size_t> pruned = merged;
+    std::sort(pruned.begin(), pruned.end(),
+              [&coeffs](std::size_t p, std::size_t q) {
+                return std::abs(coeffs[p]) > std::abs(coeffs[q]);
+              });
+    if (pruned.size() > k) pruned.resize(k);
+    std::sort(pruned.begin(), pruned.end());
+    restricted_least_squares(a, y, pruned, result.coefficients, residual);
+    result.support = pruned;
+    result.iterations = it + 1;
+
+    // Halting: stagnation check.
+    const double r = linalg::norm2(residual);
+    if (r >= prev_residual * (1.0 - 1e-9)) break;
+    prev_residual = r;
+  }
+
+  result.residual_norm = linalg::norm2(residual);
+  result.converged = result.residual_norm <= options.residual_tol * y_norm;
+  return result;
+}
+
+}  // namespace csecg::recovery

@@ -1,0 +1,232 @@
+#include "csecg/recovery/model_based.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "csecg/common/check.hpp"
+#include "csecg/linalg/solve.hpp"
+
+namespace csecg::recovery {
+namespace {
+
+/// Block energies of a coefficient vector.
+std::vector<double> block_energies(const linalg::Vector& coeffs,
+                                   std::size_t block_size) {
+  const std::size_t blocks = coeffs.size() / block_size;
+  std::vector<double> energy(blocks, 0.0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < block_size; ++i) {
+      const double v = coeffs[b * block_size + i];
+      energy[b] += v * v;
+    }
+  }
+  return energy;
+}
+
+/// Indices of the k largest-energy blocks.
+std::vector<std::size_t> top_blocks(const std::vector<double>& energy,
+                                    std::size_t k) {
+  std::vector<std::size_t> order(energy.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::size_t take = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(take),
+                    order.end(), [&energy](std::size_t a, std::size_t b) {
+                      return energy[a] > energy[b];
+                    });
+  order.resize(take);
+  return order;
+}
+
+std::vector<std::size_t> blocks_to_support(
+    const std::vector<std::size_t>& blocks, std::size_t block_size) {
+  std::vector<std::size_t> support;
+  support.reserve(blocks.size() * block_size);
+  for (std::size_t b : blocks) {
+    for (std::size_t i = 0; i < block_size; ++i) {
+      support.push_back(b * block_size + i);
+    }
+  }
+  std::sort(support.begin(), support.end());
+  return support;
+}
+
+void restricted_ls(const linalg::Matrix& a, const linalg::Vector& y,
+                   const std::vector<std::size_t>& support,
+                   linalg::Vector& coeffs, linalg::Vector& residual) {
+  linalg::Matrix sub(a.rows(), support.size());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i);
+    for (std::size_t j = 0; j < support.size(); ++j) {
+      sub(i, j) = row[support[j]];
+    }
+  }
+  const linalg::Vector beta = linalg::least_squares(sub, y);
+  coeffs = linalg::Vector(a.cols());
+  for (std::size_t j = 0; j < support.size(); ++j) {
+    coeffs[support[j]] = beta[j];
+  }
+  residual = y - linalg::multiply(sub, beta);
+}
+
+}  // namespace
+
+void validate(const BlockModel& model, std::size_t n) {
+  CSECG_CHECK(model.block_size >= 1, "BlockModel: block_size must be >= 1");
+  CSECG_CHECK(n % model.block_size == 0,
+              "BlockModel: block_size " << model.block_size
+                                        << " does not divide n=" << n);
+}
+
+linalg::Vector block_project(const linalg::Vector& coeffs,
+                             const BlockModel& model, std::size_t k_blocks) {
+  validate(model, coeffs.size());
+  const auto energy = block_energies(coeffs, model.block_size);
+  const auto keep = top_blocks(energy, k_blocks);
+  linalg::Vector out(coeffs.size());
+  for (std::size_t b : keep) {
+    for (std::size_t i = 0; i < model.block_size; ++i) {
+      const std::size_t idx = b * model.block_size + i;
+      out[idx] = coeffs[idx];
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> block_support(const linalg::Vector& coeffs,
+                                       const BlockModel& model,
+                                       std::size_t k_blocks) {
+  validate(model, coeffs.size());
+  const auto energy = block_energies(coeffs, model.block_size);
+  return blocks_to_support(top_blocks(energy, k_blocks), model.block_size);
+}
+
+void validate(const TreeModel& model) {
+  CSECG_CHECK(model.n > 0, "TreeModel: n must be positive");
+  CSECG_CHECK(model.levels >= 1, "TreeModel: levels must be >= 1");
+  CSECG_CHECK(model.n % (std::size_t{1} << model.levels) == 0,
+              "TreeModel: n=" << model.n << " not divisible by 2^"
+                              << model.levels);
+}
+
+std::size_t TreeModel::parent(std::size_t i) const {
+  const std::size_t coarse = n >> levels;
+  CSECG_CHECK(i < n, "TreeModel::parent: index out of range");
+  if (i < coarse) return npos;  // Approximation band: roots.
+  // Find the detail level j with band [n>>j, n>>(j-1)).
+  for (int j = levels; j >= 1; --j) {
+    const std::size_t band_start = n >> j;
+    const std::size_t band_end = n >> (j - 1);
+    if (i >= band_start && i < band_end) {
+      const std::size_t pos = i - band_start;
+      if (j == levels) return pos;  // Parent in the approximation band.
+      return (n >> (j + 1)) + pos / 2;
+    }
+  }
+  return npos;  // Unreachable.
+}
+
+linalg::Vector tree_project(const linalg::Vector& coeffs,
+                            const TreeModel& model, std::size_t k) {
+  validate(model);
+  CSECG_CHECK(coeffs.size() == model.n,
+              "tree_project: coefficient length mismatch");
+  CSECG_CHECK(k >= 1, "tree_project: k must be >= 1");
+  std::vector<std::size_t> order(model.n);
+  for (std::size_t i = 0; i < model.n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&coeffs](std::size_t a, std::size_t b) {
+              return std::abs(coeffs[a]) > std::abs(coeffs[b]);
+            });
+  std::vector<bool> selected(model.n, false);
+  std::size_t count = 0;
+  for (std::size_t idx : order) {
+    if (count >= k) break;
+    if (selected[idx]) continue;
+    // Collect the unselected ancestor chain, then commit it whole so the
+    // result stays a rooted subtree.
+    std::vector<std::size_t> chain;
+    for (std::size_t node = idx;
+         node != TreeModel::npos && !selected[node];
+         node = model.parent(node)) {
+      chain.push_back(node);
+    }
+    for (std::size_t node : chain) selected[node] = true;
+    count += chain.size();
+  }
+  linalg::Vector out(model.n);
+  for (std::size_t i = 0; i < model.n; ++i) {
+    if (selected[i]) out[i] = coeffs[i];
+  }
+  return out;
+}
+
+GreedyResult solve_block_cosamp(const linalg::Matrix& a,
+                                const linalg::Vector& y,
+                                const BlockModel& model,
+                                std::size_t k_blocks,
+                                const GreedyOptions& options) {
+  validate(options);
+  validate(model, a.cols());
+  CSECG_CHECK(y.size() == a.rows(), "block_cosamp: y dimension mismatch");
+  CSECG_CHECK(k_blocks >= 1, "block_cosamp: k_blocks must be >= 1");
+  CSECG_CHECK(k_blocks * model.block_size <= a.rows(),
+              "block_cosamp: model sparsity "
+                  << k_blocks * model.block_size
+                  << " exceeds measurement count " << a.rows());
+
+  const double y_norm = std::max(linalg::norm2(y), 1e-300);
+  const int budget = options.max_iterations > 0
+                         ? options.max_iterations
+                         : static_cast<int>(3 * k_blocks);
+  // Cap the merged support so least squares stays overdetermined.
+  const std::size_t max_merge_blocks = a.rows() / model.block_size;
+
+  GreedyResult result;
+  result.coefficients = linalg::Vector(a.cols());
+  linalg::Vector residual = y;
+  double prev_residual = linalg::norm2(residual);
+  std::vector<std::size_t> current_blocks;
+
+  for (int it = 0; it < budget; ++it) {
+    if (linalg::norm2(residual) <= options.residual_tol * y_norm) break;
+    const linalg::Vector proxy = linalg::multiply_transpose(a, residual);
+    const auto proxy_energy = block_energies(proxy, model.block_size);
+    auto merged = top_blocks(proxy_energy, 2 * k_blocks);
+    merged.insert(merged.end(), current_blocks.begin(),
+                  current_blocks.end());
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    if (merged.size() > max_merge_blocks) {
+      std::sort(merged.begin(), merged.end(),
+                [&proxy_energy](std::size_t p, std::size_t q) {
+                  return proxy_energy[p] > proxy_energy[q];
+                });
+      merged.resize(max_merge_blocks);
+      std::sort(merged.begin(), merged.end());
+    }
+
+    linalg::Vector coeffs;
+    linalg::Vector merged_residual;
+    restricted_ls(a, y, blocks_to_support(merged, model.block_size), coeffs,
+                  merged_residual);
+
+    const auto fit_energy = block_energies(coeffs, model.block_size);
+    current_blocks = top_blocks(fit_energy, k_blocks);
+    std::sort(current_blocks.begin(), current_blocks.end());
+    const auto support =
+        blocks_to_support(current_blocks, model.block_size);
+    restricted_ls(a, y, support, result.coefficients, residual);
+    result.support = support;
+    result.iterations = it + 1;
+
+    const double r = linalg::norm2(residual);
+    if (r >= prev_residual * (1.0 - 1e-9)) break;
+    prev_residual = r;
+  }
+
+  result.residual_norm = linalg::norm2(residual);
+  result.converged = result.residual_norm <= options.residual_tol * y_norm;
+  return result;
+}
+
+}  // namespace csecg::recovery

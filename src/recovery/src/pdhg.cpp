@@ -1,0 +1,177 @@
+#include "csecg/recovery/pdhg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "csecg/common/check.hpp"
+#include "csecg/recovery/prox.hpp"
+
+namespace csecg::recovery {
+
+void validate(const PdhgOptions& options) {
+  CSECG_CHECK(options.max_iterations > 0, "PdhgOptions: max_iterations <= 0");
+  CSECG_CHECK(options.tol > 0.0, "PdhgOptions: tol must be positive");
+  CSECG_CHECK(options.feasibility_tol > 0.0,
+              "PdhgOptions: feasibility_tol must be positive");
+  CSECG_CHECK(options.check_every > 0, "PdhgOptions: check_every <= 0");
+  CSECG_CHECK(options.theta >= 0.0 && options.theta <= 1.0,
+              "PdhgOptions: theta must be in [0, 1]");
+  CSECG_CHECK(options.step_safety > 0.0 && options.step_safety < 1.0,
+              "PdhgOptions: step_safety must be in (0, 1)");
+  CSECG_CHECK(options.dual_primal_ratio > 0.0,
+              "PdhgOptions: dual_primal_ratio must be positive");
+  CSECG_CHECK(options.phi_norm_hint >= 0.0,
+              "PdhgOptions: phi_norm_hint must be non-negative");
+  for (double w : options.coefficient_weights) {
+    CSECG_CHECK(w >= 0.0, "PdhgOptions: coefficient weights must be >= 0");
+  }
+}
+
+PdhgResult solve_bpdn(const linalg::LinearOperator& phi,
+                      const linalg::LinearOperator& psi,
+                      const linalg::Vector& y, double sigma,
+                      const std::optional<BoxConstraint>& box,
+                      const PdhgOptions& options) {
+  validate(options);
+  const std::size_t m = phi.rows();
+  const std::size_t n = phi.cols();
+  CSECG_CHECK(psi.rows() == n && psi.cols() == n,
+              "solve_bpdn: psi must be n x n with n = " << n);
+  CSECG_CHECK(y.size() == m, "solve_bpdn: y has " << y.size()
+                                                  << " entries, expected "
+                                                  << m);
+  CSECG_CHECK(sigma >= 0.0, "solve_bpdn: sigma must be non-negative");
+  if (box) {
+    CSECG_CHECK(box->lower.size() == n && box->upper.size() == n,
+                "solve_bpdn: box dimension mismatch");
+    for (std::size_t i = 0; i < n; ++i) {
+      CSECG_CHECK(box->lower[i] <= box->upper[i],
+                  "solve_bpdn: empty box at sample " << i);
+    }
+  }
+  const bool weighted = !options.coefficient_weights.empty();
+  if (weighted) {
+    CSECG_CHECK(options.coefficient_weights.size() == n,
+                "solve_bpdn: coefficient_weights must have length " << n);
+  }
+
+  // Operator norm of K = [Φ; I] (or Φ alone without the box block).
+  const double phi_norm = options.phi_norm_hint > 0.0
+                              ? options.phi_norm_hint
+                              : linalg::operator_norm_estimate(phi, 60);
+  const double k_norm =
+      box ? std::sqrt(phi_norm * phi_norm + 1.0) : std::max(phi_norm, 1e-12);
+  const double ratio_sqrt = std::sqrt(options.dual_primal_ratio);
+  const double tau = options.step_safety / (k_norm * ratio_sqrt);
+  const double sigma_d = options.step_safety * ratio_sqrt / k_norm;
+
+  // Warm start: caller-provided, else box midpoint (already nearly
+  // feasible), else zero.
+  linalg::Vector x(n);
+  if (!options.x0.empty()) {
+    CSECG_CHECK(options.x0.size() == n,
+                "solve_bpdn: x0 has " << options.x0.size()
+                                      << " entries, expected " << n);
+    x = options.x0;
+  } else if (box) {
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = 0.5 * (box->lower[i] + box->upper[i]);
+    }
+  }
+  linalg::Vector x_bar = x;
+  linalg::Vector q1(m);
+  linalg::Vector q2(box ? n : 0);
+
+  const double y_scale = std::max(linalg::norm2(y), 1.0);
+  double box_scale = 1.0;
+  if (box) {
+    double w = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      w = std::max(w, box->upper[i] - box->lower[i]);
+    }
+    box_scale = std::max(w, 1e-12);
+  }
+
+  PdhgResult result;
+  linalg::Vector x_prev_check = x;
+
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    // Dual ascent on the ball block: q1 += σ_d·Φx̄ then Moreau.
+    {
+      linalg::Vector v = phi.apply(x_bar);
+      v *= sigma_d;
+      v += q1;
+      linalg::Vector scaled(m);
+      for (std::size_t i = 0; i < m; ++i) scaled[i] = v[i] / sigma_d;
+      const linalg::Vector projected = project_l2_ball(scaled, y, sigma);
+      for (std::size_t i = 0; i < m; ++i) {
+        q1[i] = v[i] - sigma_d * projected[i];
+      }
+    }
+    // Dual ascent on the box block.
+    if (box) {
+      linalg::Vector v(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = q2[i] + sigma_d * x_bar[i];
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const double proj =
+            std::clamp(v[i] / sigma_d, box->lower[i], box->upper[i]);
+        q2[i] = v[i] - sigma_d * proj;
+      }
+    }
+    // Primal descent: x ← prox_{τ‖Ψᵀ·‖₁}(x − τ·Kᵀq).
+    linalg::Vector grad = phi.apply_adjoint(q1);
+    if (box) grad += q2;
+    linalg::Vector x_new(n);
+    for (std::size_t i = 0; i < n; ++i) x_new[i] = x[i] - tau * grad[i];
+    {
+      linalg::Vector coeffs = psi.apply_adjoint(x_new);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double threshold =
+            weighted ? tau * options.coefficient_weights[i] : tau;
+        coeffs[i] = soft_threshold(coeffs[i], threshold);
+      }
+      x_new = psi.apply(coeffs);
+    }
+    // Extrapolation.
+    for (std::size_t i = 0; i < n; ++i) {
+      x_bar[i] = x_new[i] + options.theta * (x_new[i] - x[i]);
+    }
+    x = x_new;
+    result.iterations = it;
+
+    if (it % options.check_every == 0 || it == options.max_iterations) {
+      const double dx = linalg::norm2(x - x_prev_check);
+      const double rel_change = dx / std::max(linalg::norm2(x), 1.0);
+      x_prev_check = x;
+
+      const linalg::Vector residual = phi.apply(x) - y;
+      const double ball_viol =
+          std::max(0.0, linalg::norm2(residual) - sigma);
+      double box_viol = 0.0;
+      if (box) {
+        for (std::size_t i = 0; i < n; ++i) {
+          box_viol = std::max(box_viol, box->lower[i] - x[i]);
+          box_viol = std::max(box_viol, x[i] - box->upper[i]);
+        }
+        box_viol = std::max(box_viol, 0.0);
+      }
+      result.ball_violation = ball_viol;
+      result.box_violation = box_viol;
+      const bool feasible =
+          ball_viol <= options.feasibility_tol * y_scale &&
+          box_viol <= options.feasibility_tol * box_scale;
+      if (rel_change <= options.tol && feasible) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+
+  result.objective = linalg::norm1(psi.apply_adjoint(x));
+  result.x = std::move(x);
+  return result;
+}
+
+}  // namespace csecg::recovery

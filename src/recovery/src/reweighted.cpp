@@ -1,0 +1,48 @@
+#include "csecg/recovery/reweighted.hpp"
+
+#include <cmath>
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::recovery {
+
+void validate(const ReweightedOptions& options) {
+  CSECG_CHECK(options.rounds >= 1, "ReweightedOptions: rounds must be >= 1");
+  CSECG_CHECK(options.epsilon >= 0.0,
+              "ReweightedOptions: epsilon must be >= 0");
+  validate(options.solver);
+}
+
+PdhgResult solve_reweighted_bpdn(const linalg::LinearOperator& phi,
+                                 const linalg::LinearOperator& psi,
+                                 const linalg::Vector& y, double sigma,
+                                 const std::optional<BoxConstraint>& box,
+                                 const ReweightedOptions& options) {
+  validate(options);
+  PdhgOptions solver = options.solver;
+  solver.coefficient_weights = linalg::Vector();  // Round 1: unweighted.
+
+  PdhgResult result = solve_bpdn(phi, psi, y, sigma, box, solver);
+  double epsilon = options.epsilon;
+  for (int round = 1; round < options.rounds; ++round) {
+    const linalg::Vector coeffs = psi.apply_adjoint(result.x);
+    if (epsilon == 0.0) {
+      epsilon = 0.1 * std::max(linalg::norm_inf(coeffs), 1e-12);
+    }
+    linalg::Vector weights(coeffs.size());
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      weights[i] = 1.0 / (std::abs(coeffs[i]) + epsilon);
+    }
+    // Normalize so the mean weight is 1 (keeps step sizes comparable).
+    const double mean_weight = linalg::mean(weights);
+    weights *= 1.0 / mean_weight;
+    solver.coefficient_weights = weights;
+    solver.x0 = result.x;  // Warm start from the previous round.
+    result = solve_bpdn(phi, psi, y, sigma, box, solver);
+  }
+  // Report the unweighted objective for comparability across rounds.
+  result.objective = linalg::norm1(psi.apply_adjoint(result.x));
+  return result;
+}
+
+}  // namespace csecg::recovery

@@ -1,0 +1,37 @@
+// Scalar distributions on top of Xoshiro256.
+//
+// All samplers are free functions taking the engine by reference so hot
+// loops stay allocation-free and deterministic given the engine state.
+#pragma once
+
+#include <cstdint>
+
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::rng {
+
+/// Uniform double in [0, 1) with 53 bits of entropy.
+double uniform01(Xoshiro256& gen) noexcept;
+
+/// Uniform double in [lo, hi).  Requires lo < hi (unchecked; trivial misuse
+/// yields NaN-free but degenerate output).
+double uniform(Xoshiro256& gen, double lo, double hi) noexcept;
+
+/// Standard normal N(0,1) via the Marsaglia polar method.
+double normal(Xoshiro256& gen) noexcept;
+
+/// Normal with the given mean and standard deviation.
+double normal(Xoshiro256& gen, double mean, double stddev) noexcept;
+
+/// Rademacher variate: +1 or -1 with equal probability.  This is the
+/// "chipping" symbol distribution of the RMPI front-end.
+int rademacher(Xoshiro256& gen) noexcept;
+
+/// Bernoulli(p): true with probability p.
+bool bernoulli(Xoshiro256& gen, double p) noexcept;
+
+/// Uniform integer in [0, bound).  Requires bound > 0.  Uses Lemire's
+/// nearly-divisionless rejection method, so the result is unbiased.
+std::uint64_t uniform_below(Xoshiro256& gen, std::uint64_t bound) noexcept;
+
+}  // namespace csecg::rng

@@ -1,0 +1,50 @@
+#include "csecg/rng/distributions.hpp"
+
+#include <cmath>
+
+namespace csecg::rng {
+
+double uniform01(Xoshiro256& gen) noexcept {
+  return static_cast<double>(gen.next() >> 11) * 0x1.0p-53;
+}
+
+double uniform(Xoshiro256& gen, double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01(gen);
+}
+
+double normal(Xoshiro256& gen) noexcept {
+  // Marsaglia polar method; rejection probability ~21.5% per round.
+  for (;;) {
+    const double u = 2.0 * uniform01(gen) - 1.0;
+    const double v = 2.0 * uniform01(gen) - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double normal(Xoshiro256& gen, double mean, double stddev) noexcept {
+  return mean + stddev * normal(gen);
+}
+
+int rademacher(Xoshiro256& gen) noexcept {
+  return (gen.next() >> 63) ? 1 : -1;
+}
+
+bool bernoulli(Xoshiro256& gen, double p) noexcept {
+  return uniform01(gen) < p;
+}
+
+std::uint64_t uniform_below(Xoshiro256& gen, std::uint64_t bound) noexcept {
+  // Classic unbiased modulo rejection: discard draws below 2^64 mod bound
+  // so every residue class is equally likely.  The rejection probability
+  // is < bound/2^64, i.e. negligible for the small bounds used here.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t draw = gen.next();
+    if (draw >= threshold) return draw % bound;
+  }
+}
+
+}  // namespace csecg::rng

@@ -1,0 +1,59 @@
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::rng {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL,
+      0xA9582618E03FC9AAULL, 0x39ABDC4529B1661CULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      next();
+    }
+  }
+  state_ = acc;
+}
+
+Xoshiro256 Xoshiro256::split() noexcept {
+  Xoshiro256 child = *this;
+  jump();
+  return child;
+}
+
+}  // namespace csecg::rng

@@ -1,0 +1,42 @@
+// Compressed-sensing design diagnostics.
+//
+// The paper's argument starts from the m = s·log(n/s) measurement bound;
+// these utilities let a user audit a concrete Φ (or Φ·Ψ product) the way
+// the CS literature does: mutual coherence against the Welch bound, and a
+// Monte-Carlo restricted-isometry proxy (extremal singular values of
+// random k-column submatrices).  The phase_transition bench builds the
+// classic empirical recovery map from the same pieces.
+#pragma once
+
+#include <cstdint>
+
+#include "csecg/linalg/matrix.hpp"
+
+namespace csecg::sensing {
+
+/// Mutual coherence μ(A) = max_{i≠j} |⟨aᵢ, aⱼ⟩| / (‖aᵢ‖·‖aⱼ‖).
+/// Throws std::invalid_argument for matrices with < 2 columns or a zero
+/// column.
+double mutual_coherence(const linalg::Matrix& a);
+
+/// The Welch lower bound √((n−m)/(m(n−1))) on coherence for an m×n frame.
+/// Throws std::invalid_argument unless 1 ≤ m < n.
+double welch_bound(std::size_t m, std::size_t n);
+
+/// Extremal-singular-value estimate of random k-column submatrices.
+struct RipEstimate {
+  double sigma_min = 0.0;  ///< Smallest σ_min(A_S) over the trials.
+  double sigma_max = 0.0;  ///< Largest σ_max(A_S) over the trials.
+  /// RIP-style constant for unit-norm columns: max(σ_max²−1, 1−σ_min²).
+  double delta() const noexcept;
+};
+
+/// Monte-Carlo RIP proxy: draws `trials` random supports of size k and
+/// measures the extremal singular values of the corresponding column
+/// submatrices (columns are normalized internally).  Throws
+/// std::invalid_argument unless 1 ≤ k ≤ m ≤ n and trials ≥ 1.
+RipEstimate restricted_isometry_estimate(const linalg::Matrix& a,
+                                         std::size_t k, int trials,
+                                         std::uint64_t seed = 1);
+
+}  // namespace csecg::sensing

@@ -1,0 +1,60 @@
+// The ultra-low-power low-resolution parallel channel (paper §II).
+//
+// A B-bit ADC samples the same signal at Nyquist rate.  Its output ẋ is a
+// coarsely quantized copy of x; the decoder uses it as the per-sample box
+// constraint ẋ ≤ Ψα ≤ ẋ + d of problem (1), and the encoder delta-Huffman
+// codes it for transmission (§III-B).
+//
+// The channel is defined over the raw ADC-unit scale of the record
+// (MIT-BIH: 11-bit codes in [0, 2048)), so an i-bit low-resolution channel
+// has step d = 2^(11−i) ADC units.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csecg/linalg/vector.hpp"
+#include "csecg/sensing/quantizer.hpp"
+
+namespace csecg::sensing {
+
+/// Low-resolution channel configuration.
+struct LowResConfig {
+  int bits = 7;            ///< Channel resolution (paper's trade-off pick).
+  int full_scale_bits = 11;  ///< Resolution of the underlying record.
+};
+
+/// Validates a LowResConfig; throws std::invalid_argument unless
+/// 1 ≤ bits ≤ full_scale_bits ≤ 24.
+void validate(const LowResConfig& config);
+
+/// Output of the channel for one processing window.
+struct LowResOutput {
+  std::vector<std::int64_t> codes;  ///< Raw B-bit codes (entropy-coder input).
+  linalg::Vector lower;             ///< Box lower bounds ẋ (ADC units).
+  linalg::Vector upper;             ///< Box upper bounds ẋ + d.
+  double step = 0.0;                ///< Resolution depth step d.
+};
+
+/// The Nyquist-rate low-resolution ADC path.
+class LowResChannel {
+ public:
+  explicit LowResChannel(LowResConfig config = {});
+
+  const LowResConfig& config() const noexcept { return config_; }
+
+  /// Quantization step d in ADC units: 2^(full_scale_bits − bits).
+  double step() const noexcept { return quantizer_.step(); }
+
+  /// Samples a window (raw ADC-unit values) through the channel.
+  LowResOutput sample(const linalg::Vector& window) const;
+
+  /// Reconstructs the staircase ẋ from transmitted codes.
+  linalg::Vector reconstruct(const std::vector<std::int64_t>& codes) const;
+
+ private:
+  LowResConfig config_;
+  Quantizer quantizer_;
+};
+
+}  // namespace csecg::sensing

@@ -1,0 +1,51 @@
+// Sensing-matrix ensembles.
+//
+// The RMPI front-end realizes y = Φx with Φ built from ±1 chipping
+// sequences (Rademacher ensemble); Gaussian and sparse-binary ensembles
+// are provided as ablation baselines — the paper's architecture argument
+// only depends on the number of rows m (one analog channel per row), not
+// on the ensemble.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "csecg/linalg/matrix.hpp"
+
+namespace csecg::sensing {
+
+/// Random matrix ensembles for Φ.
+enum class Ensemble {
+  kRademacher,    ///< i.i.d. ±1 chips (RMPI-realizable).
+  kGaussian,      ///< i.i.d. N(0,1).
+  kSparseBinary,  ///< Fixed number of ones per column (LDPC-like).
+};
+
+/// Human-readable ensemble name.
+std::string ensemble_name(Ensemble ensemble);
+
+/// Sensing-matrix generation parameters.
+struct SensingConfig {
+  Ensemble ensemble = Ensemble::kRademacher;
+  std::size_t measurements = 128;  ///< m — also the RMPI channel count.
+  std::size_t window = 512;        ///< n.
+  std::uint64_t seed = 1;          ///< Chip-sequence seed (shared with the
+                                   ///< decoder — both ends regenerate Φ).
+  int sparse_column_weight = 8;    ///< Ones per column for kSparseBinary.
+};
+
+/// Validates a SensingConfig; throws std::invalid_argument when m > n,
+/// dimensions are zero, or the sparse weight is infeasible.
+void validate(const SensingConfig& config);
+
+/// Builds the m×n sensing matrix for a configuration.  Deterministic in
+/// (ensemble, m, n, seed): encoder and decoder call this independently and
+/// obtain the same Φ, which is how the real system avoids transmitting Φ.
+linalg::Matrix make_sensing_matrix(const SensingConfig& config);
+
+/// Convenience: the ±1 chipping sequences of an m-channel RMPI as an m×n
+/// matrix (identical to make_sensing_matrix with kRademacher).
+linalg::Matrix chipping_sequences(std::size_t channels, std::size_t window,
+                                  std::uint64_t seed);
+
+}  // namespace csecg::sensing

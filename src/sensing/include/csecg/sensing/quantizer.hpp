@@ -1,0 +1,72 @@
+// Uniform scalar quantizer (ADC model).
+//
+// Two rounding modes are provided because the two channels of the paper's
+// front-end use them differently:
+//  * kFloor — truncation, what a low-resolution ADC effectively does when
+//    dropping LSBs.  Crucially, the floor mode gives the *exact* per-sample
+//    box of problem (1): the true sample always lies in
+//    [lower_edge(code), lower_edge(code) + step).
+//  * kRound — round-to-nearest, used for the CS-channel measurement ADC
+//    where only reconstruction error (not a bound) matters.
+#pragma once
+
+#include <cstdint>
+
+#include "csecg/linalg/vector.hpp"
+
+namespace csecg::sensing {
+
+/// Rounding behaviour of the quantizer.
+enum class QuantizerMode {
+  kFloor,  ///< Truncate toward the lower cell edge.
+  kRound,  ///< Round to the nearest cell midpoint.
+};
+
+/// Uniform B-bit quantizer over the half-open range [lo, hi).
+class Quantizer {
+ public:
+  /// Throws std::invalid_argument unless 1 ≤ bits ≤ 30 and lo < hi.
+  Quantizer(int bits, double lo, double hi,
+            QuantizerMode mode = QuantizerMode::kFloor);
+
+  int bits() const noexcept { return bits_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  QuantizerMode mode() const noexcept { return mode_; }
+
+  /// Cell width (hi − lo) / 2^bits.
+  double step() const noexcept { return step_; }
+
+  /// Number of codes, 2^bits.
+  std::int64_t levels() const noexcept { return levels_; }
+
+  /// Quantizes a value to its code, clipping at the rails.
+  std::int64_t code(double value) const noexcept;
+
+  /// Lower edge of a code's cell.  Throws std::invalid_argument for codes
+  /// outside [0, levels).
+  double lower_edge(std::int64_t code_value) const;
+
+  /// Reconstruction value of a code: lower edge in kFloor mode (so the box
+  /// [value, value+step) always contains the original), midpoint in kRound.
+  double reconstruct(std::int64_t code_value) const;
+
+  /// Quantize-and-reconstruct a whole vector.
+  linalg::Vector quantize(const linalg::Vector& x) const;
+
+  /// Per-sample reconstruction boxes [lower, upper] with upper−lower ==
+  /// step(), containing the original sample whenever it was in range.
+  /// Only meaningful in kFloor mode; throws otherwise.
+  void boxes(const linalg::Vector& x, linalg::Vector& lower,
+             linalg::Vector& upper) const;
+
+ private:
+  int bits_;
+  double lo_;
+  double hi_;
+  QuantizerMode mode_;
+  double step_;
+  std::int64_t levels_;
+};
+
+}  // namespace csecg::sensing

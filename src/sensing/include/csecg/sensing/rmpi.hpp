@@ -1,0 +1,85 @@
+// Random Modulator Pre-Integrator (RMPI) simulator (paper §III-A, Fig. 3).
+//
+// Each of the m parallel channels multiplies the input by a ±1 chipping
+// sequence, integrates over the processing window (integrate-and-dump) and
+// samples the result once per window through a per-channel ADC.  On the
+// Nyquist sample grid this is exactly y = Φx with Φ the chip matrix, so
+// the simulator doubles as a validation oracle for the ideal matrix path;
+// it additionally models two hardware non-idealities:
+//
+//  * integrator leakage — a lossy integrator decays by a factor (1−λ) per
+//    chip period, weighting early samples by (1−λ)^(n−1−k);
+//  * measurement-ADC quantization — each channel output is digitized by a
+//    B-bit rounding quantizer with a design-time fixed full-scale range.
+//
+// effective_operator() returns the *true* linear map including leakage, so
+// a decoder can stay consistent with the hardware (ablation: decode with
+// the ideal Φ while the hardware leaks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "csecg/linalg/matrix.hpp"
+#include "csecg/linalg/operator.hpp"
+#include "csecg/linalg/vector.hpp"
+#include "csecg/sensing/matrices.hpp"
+#include "csecg/sensing/quantizer.hpp"
+
+namespace csecg::sensing {
+
+/// RMPI configuration.
+struct RmpiConfig {
+  std::size_t channels = 128;       ///< m — parallel RD channels.
+  std::size_t window = 512;         ///< n — chips per processing window.
+  std::uint64_t chip_seed = 1;      ///< PRBS seed (shared with decoder).
+  double integrator_leakage = 0.0;  ///< λ ∈ [0, 1): per-chip decay.
+  int adc_bits = 12;                ///< Measurement ADC resolution; 0 = ideal.
+  double adc_range = 0.0;           ///< Full scale ±adc_range; 0 = auto
+                                    ///< (input_full_scale·√n).
+  double input_full_scale = 2048.0; ///< Max |input| in ADC units (drives the
+                                    ///< auto range).
+};
+
+/// Validates an RmpiConfig; throws std::invalid_argument on nonsense.
+void validate(const RmpiConfig& config);
+
+/// Time-domain RMPI model.
+class RmpiSimulator {
+ public:
+  explicit RmpiSimulator(RmpiConfig config = {});
+
+  const RmpiConfig& config() const noexcept { return config_; }
+
+  /// The ±1 chipping matrix (m×n).
+  const linalg::Matrix& chips() const noexcept { return chips_; }
+
+  /// The effective measurement matrix including integrator leakage.
+  /// Equals chips() when λ = 0.
+  linalg::Matrix effective_matrix() const;
+
+  /// effective_matrix() wrapped as a LinearOperator (what decoders use).
+  linalg::LinearOperator effective_operator() const;
+
+  /// Runs the analog front-end on one window: chip, integrate (with
+  /// leakage), dump, and quantize.  Input length must equal window.
+  linalg::Vector measure(const linalg::Vector& x) const;
+
+  /// Same, without the measurement ADC (infinite-resolution output).
+  linalg::Vector measure_unquantized(const linalg::Vector& x) const;
+
+  /// The measurement ADC, if adc_bits > 0.
+  const std::optional<Quantizer>& adc() const noexcept { return adc_; }
+
+  /// Expected ‖quantization error‖₂ of one window's measurement vector
+  /// (step/√12 per channel, √m channels); 0 for an ideal ADC.  Decoders
+  /// use this as the fidelity radius σ in problem (1).
+  double expected_quantization_noise_norm() const noexcept;
+
+ private:
+  RmpiConfig config_;
+  linalg::Matrix chips_;
+  std::optional<Quantizer> adc_;
+};
+
+}  // namespace csecg::sensing

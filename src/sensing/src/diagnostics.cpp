@@ -1,0 +1,100 @@
+#include "csecg/sensing/diagnostics.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "csecg/common/check.hpp"
+#include "csecg/linalg/operator.hpp"
+#include "csecg/rng/distributions.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::sensing {
+
+double mutual_coherence(const linalg::Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  CSECG_CHECK(n >= 2, "mutual_coherence: need at least 2 columns");
+  std::vector<double> norms(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) norms[j] += a(i, j) * a(i, j);
+    norms[j] = std::sqrt(norms[j]);
+    CSECG_CHECK(norms[j] > 0.0, "mutual_coherence: zero column " << j);
+  }
+  double mu = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      double inner = 0.0;
+      for (std::size_t i = 0; i < m; ++i) inner += a(i, p) * a(i, q);
+      mu = std::max(mu, std::abs(inner) / (norms[p] * norms[q]));
+    }
+  }
+  return mu;
+}
+
+double welch_bound(std::size_t m, std::size_t n) {
+  CSECG_CHECK(m >= 1 && n > m, "welch_bound: need 1 <= m < n");
+  return std::sqrt(static_cast<double>(n - m) /
+                   (static_cast<double>(m) * static_cast<double>(n - 1)));
+}
+
+double RipEstimate::delta() const noexcept {
+  return std::max(sigma_max * sigma_max - 1.0,
+                  1.0 - sigma_min * sigma_min);
+}
+
+RipEstimate restricted_isometry_estimate(const linalg::Matrix& a,
+                                         std::size_t k, int trials,
+                                         std::uint64_t seed) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  CSECG_CHECK(k >= 1 && k <= m && m <= n,
+              "restricted_isometry_estimate: need 1 <= k <= m <= n, got k="
+                  << k << ", " << m << "x" << n);
+  CSECG_CHECK(trials >= 1, "restricted_isometry_estimate: trials >= 1");
+
+  // Normalize columns once.
+  linalg::Matrix an = a;
+  linalg::normalize_columns(an);
+
+  rng::Xoshiro256 gen(seed);
+  RipEstimate out;
+  out.sigma_min = 1e300;
+  out.sigma_max = 0.0;
+  std::vector<std::size_t> support(k);
+  std::vector<bool> used(n, false);
+  for (int t = 0; t < trials; ++t) {
+    // Draw a random size-k support.
+    std::fill(used.begin(), used.end(), false);
+    for (std::size_t picked = 0; picked < k;) {
+      const auto idx =
+          static_cast<std::size_t>(rng::uniform_below(gen, n));
+      if (used[idx]) continue;
+      used[idx] = true;
+      support[picked++] = idx;
+    }
+    linalg::Matrix sub(m, k);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < k; ++j) sub(i, j) = an(i, support[j]);
+    }
+    const auto op = linalg::LinearOperator::from_matrix(sub);
+    const double smax = linalg::operator_norm_estimate(op, 80);
+    // σ_min via the shifted gram: λ_min(G) = s − λ_max(sI − G) with
+    // s ≥ λ_max(G).
+    const linalg::Matrix gram_sub = linalg::gram(sub);
+    const double shift = smax * smax + 1e-9;
+    linalg::Matrix shifted(k, k);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        shifted(i, j) = (i == j ? shift : 0.0) - gram_sub(i, j);
+      }
+    }
+    const double lambda_shift_max = linalg::operator_norm_estimate(
+        linalg::LinearOperator::from_matrix(shifted), 120);
+    const double lambda_min = std::max(shift - lambda_shift_max, 0.0);
+    out.sigma_max = std::max(out.sigma_max, smax);
+    out.sigma_min = std::min(out.sigma_min, std::sqrt(lambda_min));
+  }
+  return out;
+}
+
+}  // namespace csecg::sensing

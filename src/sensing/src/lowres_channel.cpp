@@ -1,0 +1,51 @@
+#include "csecg/sensing/lowres_channel.hpp"
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::sensing {
+
+void validate(const LowResConfig& config) {
+  CSECG_CHECK(config.bits >= 1, "LowResConfig: bits must be >= 1");
+  CSECG_CHECK(config.bits <= config.full_scale_bits,
+              "LowResConfig: bits " << config.bits
+                                    << " exceeds full-scale resolution "
+                                    << config.full_scale_bits);
+  CSECG_CHECK(config.full_scale_bits <= 24,
+              "LowResConfig: full_scale_bits out of range");
+}
+
+namespace {
+
+Quantizer make_quantizer(const LowResConfig& config) {
+  validate(config);
+  const double hi = static_cast<double>(std::int64_t{1}
+                                        << config.full_scale_bits);
+  return Quantizer(config.bits, 0.0, hi, QuantizerMode::kFloor);
+}
+
+}  // namespace
+
+LowResChannel::LowResChannel(LowResConfig config)
+    : config_(config), quantizer_(make_quantizer(config)) {}
+
+LowResOutput LowResChannel::sample(const linalg::Vector& window) const {
+  LowResOutput out;
+  out.step = quantizer_.step();
+  out.codes.resize(window.size());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    out.codes[i] = quantizer_.code(window[i]);
+  }
+  quantizer_.boxes(window, out.lower, out.upper);
+  return out;
+}
+
+linalg::Vector LowResChannel::reconstruct(
+    const std::vector<std::int64_t>& codes) const {
+  linalg::Vector out(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out[i] = quantizer_.reconstruct(codes[i]);
+  }
+  return out;
+}
+
+}  // namespace csecg::sensing

@@ -1,0 +1,89 @@
+#include "csecg/sensing/matrices.hpp"
+
+#include <vector>
+
+#include "csecg/common/check.hpp"
+#include "csecg/rng/distributions.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::sensing {
+
+std::string ensemble_name(Ensemble ensemble) {
+  switch (ensemble) {
+    case Ensemble::kRademacher:
+      return "rademacher";
+    case Ensemble::kGaussian:
+      return "gaussian";
+    case Ensemble::kSparseBinary:
+      return "sparse-binary";
+  }
+  return "?";
+}
+
+void validate(const SensingConfig& config) {
+  CSECG_CHECK(config.measurements > 0 && config.window > 0,
+              "SensingConfig: dimensions must be positive");
+  CSECG_CHECK(config.measurements <= config.window,
+              "SensingConfig: m=" << config.measurements
+                                  << " exceeds n=" << config.window
+                                  << " (not a compression)");
+  if (config.ensemble == Ensemble::kSparseBinary) {
+    CSECG_CHECK(config.sparse_column_weight >= 1 &&
+                    static_cast<std::size_t>(config.sparse_column_weight) <=
+                        config.measurements,
+                "SensingConfig: sparse_column_weight "
+                    << config.sparse_column_weight
+                    << " infeasible for m=" << config.measurements);
+  }
+}
+
+linalg::Matrix make_sensing_matrix(const SensingConfig& config) {
+  validate(config);
+  rng::Xoshiro256 gen(config.seed);
+  const std::size_t m = config.measurements;
+  const std::size_t n = config.window;
+  linalg::Matrix phi(m, n);
+  switch (config.ensemble) {
+    case Ensemble::kRademacher:
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          phi(i, j) = static_cast<double>(rng::rademacher(gen));
+        }
+      }
+      break;
+    case Ensemble::kGaussian:
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) phi(i, j) = rng::normal(gen);
+      }
+      break;
+    case Ensemble::kSparseBinary: {
+      const auto weight =
+          static_cast<std::size_t>(config.sparse_column_weight);
+      std::vector<std::size_t> rows(m);
+      for (std::size_t j = 0; j < n; ++j) {
+        // Partial Fisher–Yates draw of `weight` distinct rows.
+        for (std::size_t i = 0; i < m; ++i) rows[i] = i;
+        for (std::size_t k = 0; k < weight; ++k) {
+          const std::size_t pick =
+              k + static_cast<std::size_t>(rng::uniform_below(gen, m - k));
+          std::swap(rows[k], rows[pick]);
+          phi(rows[k], j) = 1.0;
+        }
+      }
+      break;
+    }
+  }
+  return phi;
+}
+
+linalg::Matrix chipping_sequences(std::size_t channels, std::size_t window,
+                                  std::uint64_t seed) {
+  SensingConfig config;
+  config.ensemble = Ensemble::kRademacher;
+  config.measurements = channels;
+  config.window = window;
+  config.seed = seed;
+  return make_sensing_matrix(config);
+}
+
+}  // namespace csecg::sensing

@@ -1,0 +1,59 @@
+#include "csecg/sensing/quantizer.hpp"
+
+#include <cmath>
+
+#include "csecg/common/check.hpp"
+
+namespace csecg::sensing {
+
+Quantizer::Quantizer(int bits, double lo, double hi, QuantizerMode mode)
+    : bits_(bits), lo_(lo), hi_(hi), mode_(mode) {
+  CSECG_CHECK(bits >= 1 && bits <= 30,
+              "Quantizer: bits out of range: " << bits);
+  CSECG_CHECK(lo < hi, "Quantizer: need lo < hi, got [" << lo << ", " << hi
+                                                        << ")");
+  levels_ = std::int64_t{1} << bits;
+  step_ = (hi_ - lo_) / static_cast<double>(levels_);
+}
+
+std::int64_t Quantizer::code(double value) const noexcept {
+  const double idx = std::floor((value - lo_) / step_);
+  if (idx < 0.0) return 0;
+  if (idx >= static_cast<double>(levels_)) return levels_ - 1;
+  return static_cast<std::int64_t>(idx);
+}
+
+double Quantizer::lower_edge(std::int64_t code_value) const {
+  CSECG_CHECK(code_value >= 0 && code_value < levels_,
+              "Quantizer::lower_edge: code " << code_value << " out of [0, "
+                                             << levels_ << ")");
+  return lo_ + static_cast<double>(code_value) * step_;
+}
+
+double Quantizer::reconstruct(std::int64_t code_value) const {
+  const double edge = lower_edge(code_value);
+  return mode_ == QuantizerMode::kFloor ? edge : edge + 0.5 * step_;
+}
+
+linalg::Vector Quantizer::quantize(const linalg::Vector& x) const {
+  linalg::Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = reconstruct(code(x[i]));
+  }
+  return out;
+}
+
+void Quantizer::boxes(const linalg::Vector& x, linalg::Vector& lower,
+                      linalg::Vector& upper) const {
+  CSECG_CHECK(mode_ == QuantizerMode::kFloor,
+              "Quantizer::boxes requires kFloor mode");
+  lower.resize(x.size());
+  upper.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double edge = lower_edge(code(x[i]));
+    lower[i] = edge;
+    upper[i] = edge + step_;
+  }
+}
+
+}  // namespace csecg::sensing

@@ -1,0 +1,164 @@
+// Tests for the adaptive measurement-rate extension.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "csecg/core/adaptive.hpp"
+#include "csecg/ecg/record.hpp"
+#include "csecg/metrics/quality.hpp"
+#include "csecg/sensing/matrices.hpp"
+
+namespace csecg::core {
+namespace {
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecg::RecordConfig record_config;
+    record_config.duration_seconds = 15.0;
+    database_ = new ecg::SyntheticDatabase(record_config, 2015);
+    base_ = new FrontEndConfig();
+    base_->window = 256;
+    base_->wavelet_levels = 4;
+    base_->solver.max_iterations = 500;
+    codec_ = new coding::DeltaHuffmanCodec(
+        train_lowres_codec(*base_, *database_, 2, 3));
+  }
+  static void TearDownTestSuite() {
+    delete codec_;
+    delete base_;
+    delete database_;
+  }
+  static const ecg::SyntheticDatabase& database() { return *database_; }
+  static const FrontEndConfig& base() { return *base_; }
+  static const coding::DeltaHuffmanCodec& lowres() { return *codec_; }
+
+ private:
+  static ecg::SyntheticDatabase* database_;
+  static FrontEndConfig* base_;
+  static coding::DeltaHuffmanCodec* codec_;
+};
+
+ecg::SyntheticDatabase* AdaptiveTest::database_ = nullptr;
+FrontEndConfig* AdaptiveTest::base_ = nullptr;
+coding::DeltaHuffmanCodec* AdaptiveTest::codec_ = nullptr;
+
+TEST(ChipPrefixProperty, SmallBankIsPrefixOfLargeBank) {
+  // The synchronization bedrock of the adaptive scheme: the m-channel
+  // chip matrix is the first m rows of the m_max-channel one.
+  const auto big = sensing::chipping_sequences(64, 128, 42);
+  const auto small = sensing::chipping_sequences(16, 128, 42);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 128; ++j) {
+      ASSERT_EQ(small(i, j), big(i, j));
+    }
+  }
+}
+
+TEST(DeltaActivity, FlatAndBusySignals) {
+  EXPECT_DOUBLE_EQ(delta_activity({5, 5, 5, 5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(delta_activity({1, 2, 3, 4, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(delta_activity({5, 5, 6, 6, 7}), 0.5);
+  EXPECT_THROW(delta_activity({5}), std::invalid_argument);
+}
+
+TEST(ChannelsForActivity, LinearPolicyWithClamping) {
+  AdaptiveRateConfig rate;
+  rate.m_min = 32;
+  rate.m_max = 192;
+  rate.low_activity = 0.1;
+  rate.high_activity = 0.3;
+  EXPECT_EQ(channels_for_activity(0.0, rate), 32u);
+  EXPECT_EQ(channels_for_activity(0.1, rate), 32u);
+  EXPECT_EQ(channels_for_activity(0.2, rate), 112u);
+  EXPECT_EQ(channels_for_activity(0.3, rate), 192u);
+  EXPECT_EQ(channels_for_activity(1.0, rate), 192u);
+}
+
+TEST_F(AdaptiveTest, ConfigValidation) {
+  AdaptiveRateConfig rate;
+  rate.m_min = 0;
+  EXPECT_THROW(validate(rate, base()), std::invalid_argument);
+  rate = AdaptiveRateConfig{};
+  rate.m_max = 512;  // > window 256.
+  EXPECT_THROW(validate(rate, base()), std::invalid_argument);
+  rate = AdaptiveRateConfig{};
+  rate.low_activity = 0.5;
+  rate.high_activity = 0.4;
+  EXPECT_THROW(validate(rate, base()), std::invalid_argument);
+  FrontEndConfig no_lowres = base();
+  no_lowres.lowres_bits = 0;
+  rate = AdaptiveRateConfig{};
+  rate.m_max = 192;
+  EXPECT_THROW(validate(rate, no_lowres), std::invalid_argument);
+}
+
+TEST_F(AdaptiveTest, RoundTripAtAdaptedRate) {
+  AdaptiveRateConfig rate;
+  rate.m_min = 32;
+  rate.m_max = 128;
+  const AdaptiveCodec codec(base(), rate, lowres());
+  const linalg::Vector window = database().record(0).window(500, 256);
+  const Frame frame = codec.encode(window);
+  EXPECT_GE(frame.measurements.size(), 32u);
+  EXPECT_LE(frame.measurements.size(), 128u);
+  EXPECT_EQ(frame.measurements.size(), codec.last_channels());
+  const DecodeResult result = codec.decode(frame);
+  const double snr = metrics::snr_from_prd(
+      metrics::prd_zero_mean(window, result.x));
+  EXPECT_GT(snr, 10.0);
+}
+
+TEST_F(AdaptiveTest, MatchesFixedRateCodecAtSameM) {
+  AdaptiveRateConfig rate;
+  rate.m_min = 32;
+  rate.m_max = 128;
+  const AdaptiveCodec adaptive(base(), rate, lowres());
+  const linalg::Vector window = database().record(0).window(500, 256);
+  const Frame frame = adaptive.encode(window);
+
+  FrontEndConfig fixed_config = base();
+  fixed_config.measurements = frame.measurements.size();
+  const Codec fixed(fixed_config, lowres());
+  const Frame fixed_frame = fixed.encoder().encode(window);
+  EXPECT_EQ(frame.measurements, fixed_frame.measurements);
+  EXPECT_EQ(adaptive.decode(frame).x, fixed.decoder().decode(frame).x);
+}
+
+TEST_F(AdaptiveTest, BusyWindowsGetMoreChannels) {
+  AdaptiveRateConfig rate;
+  rate.m_min = 32;
+  rate.m_max = 128;
+  rate.low_activity = 0.02;
+  rate.high_activity = 0.5;
+  const AdaptiveCodec codec(base(), rate, lowres());
+  // Flat synthetic window: minimal activity.
+  const linalg::Vector flat(256, 1024.0);
+  codec.encode(flat);
+  const std::size_t m_flat = codec.last_channels();
+  // Busy window: alternating large steps.
+  linalg::Vector busy(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    busy[i] = 1024.0 + ((i / 4) % 2 == 0 ? 200.0 : -200.0);
+  }
+  codec.encode(busy);
+  const std::size_t m_busy = codec.last_channels();
+  EXPECT_EQ(m_flat, 32u);
+  EXPECT_GT(m_busy, 2 * m_flat);
+}
+
+TEST_F(AdaptiveTest, DecodeRejectsOutOfRangeM) {
+  AdaptiveRateConfig rate;
+  rate.m_min = 48;
+  rate.m_max = 128;
+  const AdaptiveCodec codec(base(), rate, lowres());
+  FrontEndConfig small = base();
+  small.measurements = 32;  // Below m_min.
+  const Encoder encoder(small, lowres());
+  const Frame frame =
+      encoder.encode(database().record(0).window(500, 256));
+  EXPECT_THROW(codec.decode(frame), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csecg::core

@@ -1,0 +1,290 @@
+// Unit tests for csecg::dsp — wavelet filter banks (QMF orthonormality for
+// every family), DWT perfect reconstruction / orthonormality, FIR tools.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "csecg/dsp/dwt.hpp"
+#include "csecg/dsp/fir.hpp"
+#include "csecg/dsp/wavelet.hpp"
+#include "csecg/linalg/operator.hpp"
+#include "csecg/rng/distributions.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::dsp {
+namespace {
+
+using linalg::Vector;
+
+Vector random_signal(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 g(seed);
+  Vector v(n);
+  for (auto& x : v) x = rng::normal(g);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Wavelet filters: property tests over every family.
+
+class WaveletFamilyTest : public ::testing::TestWithParam<WaveletFamily> {};
+
+TEST_P(WaveletFamilyTest, LowpassSumsToSqrt2) {
+  const Wavelet w = make_wavelet(GetParam());
+  double sum = 0.0;
+  for (double h : w.lowpass) sum += h;
+  EXPECT_NEAR(sum, std::numbers::sqrt2, 1e-10) << wavelet_name(GetParam());
+}
+
+TEST_P(WaveletFamilyTest, HighpassSumsToZero) {
+  const Wavelet w = make_wavelet(GetParam());
+  double sum = 0.0;
+  for (double g : w.highpass) sum += g;
+  EXPECT_NEAR(sum, 0.0, 1e-10);
+}
+
+TEST_P(WaveletFamilyTest, QmfOrthonormality) {
+  // Σ h[k]·h[k+2j] = δ_j and the same for g; cross products vanish.
+  const Wavelet w = make_wavelet(GetParam());
+  const auto len = w.length();
+  for (std::size_t shift = 0; shift < len; shift += 2) {
+    double hh = 0.0;
+    double gg = 0.0;
+    double hg = 0.0;
+    for (std::size_t k = 0; k + shift < len; ++k) {
+      hh += w.lowpass[k] * w.lowpass[k + shift];
+      gg += w.highpass[k] * w.highpass[k + shift];
+      hg += w.lowpass[k] * w.highpass[k + shift];
+    }
+    const double expected = shift == 0 ? 1.0 : 0.0;
+    EXPECT_NEAR(hh, expected, 1e-10) << "shift " << shift;
+    EXPECT_NEAR(gg, expected, 1e-10) << "shift " << shift;
+    if (shift == 0) {
+      EXPECT_NEAR(hg, 0.0, 1e-10);
+    }
+  }
+}
+
+TEST_P(WaveletFamilyTest, FilterLengthEven) {
+  EXPECT_EQ(make_wavelet(GetParam()).length() % 2, 0u);
+}
+
+TEST_P(WaveletFamilyTest, NameRoundTrips) {
+  const WaveletFamily family = GetParam();
+  EXPECT_EQ(wavelet_from_name(wavelet_name(family)), family);
+}
+
+TEST_P(WaveletFamilyTest, PerfectReconstructionN128) {
+  const Dwt dwt(GetParam(), 128, 3);
+  const Vector x = random_signal(128, 99);
+  const Vector rec = dwt.inverse(dwt.forward(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(rec[i], x[i], 1e-9) << wavelet_name(GetParam()) << " @" << i;
+  }
+}
+
+TEST_P(WaveletFamilyTest, TransformPreservesEnergy) {
+  const Dwt dwt(GetParam(), 256, 4);
+  const Vector x = random_signal(256, 123);
+  const Vector c = dwt.forward(x);
+  EXPECT_NEAR(linalg::norm2(c), linalg::norm2(x), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, WaveletFamilyTest,
+    ::testing::ValuesIn(all_wavelet_families()),
+    [](const ::testing::TestParamInfo<WaveletFamily>& param_info) {
+      return wavelet_name(param_info.param);
+    });
+
+TEST(Wavelet, UnknownNameThrows) {
+  EXPECT_THROW(wavelet_from_name("db99"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// DWT structure.
+
+TEST(Dwt, RejectsBadConfigurations) {
+  EXPECT_THROW(Dwt(WaveletFamily::kDb4, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Dwt(WaveletFamily::kDb4, 128, 0), std::invalid_argument);
+  EXPECT_THROW(Dwt(WaveletFamily::kDb4, 100, 3), std::invalid_argument);
+  EXPECT_THROW(Dwt(WaveletFamily::kDb4, 128, 8), std::invalid_argument);
+}
+
+TEST(Dwt, MaxLevels) {
+  EXPECT_EQ(Dwt::max_levels(512), 9);
+  EXPECT_EQ(Dwt::max_levels(360), 3);
+  EXPECT_EQ(Dwt::max_levels(7), 0);
+}
+
+TEST(Dwt, ForwardRejectsWrongLength) {
+  const Dwt dwt(WaveletFamily::kHaar, 64, 2);
+  EXPECT_THROW(dwt.forward(Vector(63)), std::invalid_argument);
+  EXPECT_THROW(dwt.inverse(Vector(65)), std::invalid_argument);
+}
+
+TEST(Dwt, HaarSingleLevelKnownValues) {
+  const Dwt dwt(WaveletFamily::kHaar, 4, 1);
+  const Vector x{1.0, 3.0, 5.0, 7.0};
+  const Vector c = dwt.forward(x);
+  const double s = std::numbers::sqrt2;
+  // approx = (x0+x1)/√2, (x2+x3)/√2 ; detail = (x0−x1)/√2, (x2−x3)/√2.
+  EXPECT_NEAR(c[0], 4.0 / s, 1e-12);
+  EXPECT_NEAR(c[1], 12.0 / s, 1e-12);
+  EXPECT_NEAR(c[2], -2.0 / s, 1e-12);
+  EXPECT_NEAR(c[3], -2.0 / s, 1e-12);
+}
+
+TEST(Dwt, ConstantSignalAllEnergyInApprox) {
+  const Dwt dwt(WaveletFamily::kDb4, 128, 3);
+  const Vector x(128, 5.0);
+  const Vector c = dwt.forward(x);
+  // Every detail coefficient vanishes (filters have a vanishing moment).
+  for (std::size_t i = 128 / 8; i < 128; ++i) EXPECT_NEAR(c[i], 0.0, 1e-9);
+  // Energy preserved in the approximation band.
+  double approx_energy = 0.0;
+  for (std::size_t i = 0; i < 128 / 8; ++i) approx_energy += c[i] * c[i];
+  EXPECT_NEAR(approx_energy, linalg::norm2_squared(x), 1e-7);
+}
+
+TEST(Dwt, LinearRampSparseUnderDb2) {
+  // db2 has two vanishing moments: details of a linear ramp vanish away
+  // from the periodic wrap-around.
+  const std::size_t n = 64;
+  const Dwt dwt(WaveletFamily::kDb2, n, 1);
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i);
+  const Vector c = dwt.forward(x);
+  // Interior detail coefficients ~0 (skip the few affected by wrap).
+  for (std::size_t i = n / 2 + 1; i < n - 2; ++i) {
+    EXPECT_NEAR(c[i], 0.0, 1e-9) << i;
+  }
+}
+
+TEST(Dwt, SynthesisOperatorIsOrthonormal) {
+  const Dwt dwt(WaveletFamily::kSym6, 128, 4);
+  const linalg::LinearOperator psi = dwt.synthesis_operator();
+  EXPECT_LT(linalg::adjoint_mismatch(psi), 1e-12);
+  EXPECT_NEAR(linalg::operator_norm_estimate(psi, 60), 1.0, 1e-8);
+}
+
+TEST(Dwt, MultiLevelMatchesRepeatedSingleLevel) {
+  const std::size_t n = 64;
+  const Vector x = random_signal(n, 7);
+  const Dwt two(WaveletFamily::kDb3, n, 2);
+  const Dwt one_full(WaveletFamily::kDb3, n, 1);
+  const Dwt one_half(WaveletFamily::kDb3, n / 2, 1);
+  const Vector c1 = one_full.forward(x);
+  Vector approx(n / 2);
+  for (std::size_t i = 0; i < n / 2; ++i) approx[i] = c1[i];
+  const Vector c2 = one_half.forward(approx);
+  const Vector c_ref = two.forward(x);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    EXPECT_NEAR(c_ref[i], c2[i], 1e-10);               // Coarse part.
+    EXPECT_NEAR(c_ref[n / 2 + i], c1[n / 2 + i], 1e-10);  // Level-1 details.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FIR utilities.
+
+TEST(Fir, LowpassUnitDcGain) {
+  const auto h = design_lowpass(0.1, 31);
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Fir, LowpassIsSymmetric) {
+  const auto h = design_lowpass(0.2, 21);
+  for (std::size_t i = 0; i < h.size() / 2; ++i) {
+    EXPECT_NEAR(h[i], h[h.size() - 1 - i], 1e-12);
+  }
+}
+
+TEST(Fir, LowpassRejectsBadArgs) {
+  EXPECT_THROW(design_lowpass(0.0, 31), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(0.5, 31), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(0.1, 30), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(0.1, 1), std::invalid_argument);
+}
+
+TEST(Fir, LowpassAttenuatesHighFrequency) {
+  const auto h = design_lowpass(0.05, 101);
+  const std::size_t n = 512;
+  Vector low(n);
+  Vector high(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    low[i] = std::sin(2.0 * std::numbers::pi * 0.01 * t);
+    high[i] = std::sin(2.0 * std::numbers::pi * 0.25 * t);
+  }
+  const Vector low_out = filter_same(low, h);
+  const Vector high_out = filter_same(high, h);
+  // Measure in the interior to avoid edge transients.
+  double low_rms = 0.0;
+  double high_rms = 0.0;
+  for (std::size_t i = 128; i < n - 128; ++i) {
+    low_rms += low_out[i] * low_out[i];
+    high_rms += high_out[i] * high_out[i];
+  }
+  EXPECT_GT(low_rms, 50.0 * high_rms);
+}
+
+TEST(Fir, ConvolveKnownSequence) {
+  const Vector x{1.0, 2.0, 3.0};
+  const std::vector<double> h{1.0, -1.0};
+  const Vector y = convolve(x, h);
+  EXPECT_EQ(y.size(), 4u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 1.0);
+  EXPECT_DOUBLE_EQ(y[3], -3.0);
+}
+
+TEST(Fir, ConvolveEmptyThrows) {
+  EXPECT_THROW(convolve(Vector{}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(convolve(Vector{1.0}, {}), std::invalid_argument);
+}
+
+TEST(Fir, FilterSameIdentityImpulse) {
+  const Vector x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> delta{0.0, 1.0, 0.0};
+  const Vector y = filter_same(x, delta);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Fir, CircularConvolveImpulseShifts) {
+  const Vector x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> h{0.0, 1.0};  // One-sample circular delay.
+  const Vector y = circular_convolve(x, h);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+  EXPECT_DOUBLE_EQ(y[3], 3.0);
+}
+
+TEST(Fir, DecimateKeepsEveryKth) {
+  Vector x(10);
+  for (std::size_t i = 0; i < 10; ++i) x[i] = static_cast<double>(i);
+  const Vector y = decimate(x, 3);
+  EXPECT_EQ(y, (Vector{0.0, 3.0, 6.0, 9.0}));
+  EXPECT_THROW(decimate(x, 0), std::invalid_argument);
+}
+
+TEST(Fir, MovingAverageConstantIsIdentity) {
+  const Vector x(20, 3.5);
+  const Vector y = moving_average(x, 5);
+  for (double v : y) EXPECT_NEAR(v, 3.5, 1e-12);
+  EXPECT_THROW(moving_average(x, 4), std::invalid_argument);
+}
+
+TEST(Fir, MovingAverageSmoothsNoise) {
+  const Vector x = random_signal(400, 44);
+  const Vector y = moving_average(x, 21);
+  EXPECT_LT(linalg::norm2(y), linalg::norm2(x) * 0.5);
+}
+
+}  // namespace
+}  // namespace csecg::dsp

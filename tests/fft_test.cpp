@@ -1,0 +1,170 @@
+// Unit tests for the FFT / Welch PSD / spectral-distortion utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "csecg/dsp/fft.hpp"
+#include "csecg/rng/distributions.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::dsp {
+namespace {
+
+using linalg::Vector;
+
+Vector tone(std::size_t n, double freq_hz, double fs_hz,
+            double amplitude = 1.0) {
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amplitude * std::sin(2.0 * std::numbers::pi * freq_hz *
+                                static_cast<double>(i) / fs_hz);
+  }
+  return x;
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(12);
+  EXPECT_THROW(fft(data), std::invalid_argument);
+}
+
+TEST(Fft, SinglePointIdentity) {
+  std::vector<std::complex<double>> data{{3.0, -1.0}};
+  fft(data);
+  EXPECT_DOUBLE_EQ(data[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(data[0].imag(), -1.0);
+}
+
+TEST(Fft, ImpulseIsFlat) {
+  std::vector<std::complex<double>> data(8);
+  data[0] = 1.0;
+  fft(data);
+  for (const auto& bin : data) {
+    EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+    EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  rng::Xoshiro256 gen(1);
+  std::vector<std::complex<double>> data(64);
+  std::vector<std::complex<double>> original(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    data[i] = {rng::normal(gen), rng::normal(gen)};
+    original[i] = data[i];
+  }
+  fft(data);
+  fft(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  rng::Xoshiro256 gen(2);
+  Vector x(128);
+  for (auto& v : x) v = rng::normal(gen);
+  const auto spectrum = fft_real(x);
+  double time_energy = linalg::norm2_squared(x);
+  double freq_energy = 0.0;
+  for (const auto& bin : spectrum) freq_energy += std::norm(bin);
+  EXPECT_NEAR(freq_energy / 128.0, time_energy, 1e-9);
+}
+
+TEST(Fft, ToneLandsOnExpectedBin) {
+  // 45 Hz tone at fs=360, n=128 → bin 16 exactly.
+  const Vector x = tone(128, 45.0, 360.0);
+  const Vector mag = magnitude_spectrum(x);
+  std::size_t argmax = 0;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    if (mag[k] > mag[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, 16u);
+}
+
+TEST(Welch, ConfigValidation) {
+  WelchConfig bad;
+  bad.segment = 100;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = WelchConfig{};
+  bad.overlap = 1.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = WelchConfig{};
+  bad.fs_hz = 0.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+TEST(Welch, RequiresFullSegment) {
+  WelchConfig config;
+  config.segment = 256;
+  EXPECT_THROW(welch_psd(Vector(100), config), std::invalid_argument);
+}
+
+TEST(Welch, TonePeaksAtToneFrequency) {
+  WelchConfig config;
+  config.segment = 256;
+  config.fs_hz = 360.0;
+  const Vector x = tone(2048, 30.0, 360.0);
+  const Psd psd = welch_psd(x, config);
+  std::size_t argmax = 0;
+  for (std::size_t k = 1; k < psd.power.size(); ++k) {
+    if (psd.power[k] > psd.power[argmax]) argmax = k;
+  }
+  EXPECT_NEAR(psd.frequency_hz[argmax], 30.0, 1.5);
+}
+
+TEST(Welch, BandPowerCapturesTone) {
+  WelchConfig config;
+  config.segment = 256;
+  config.fs_hz = 360.0;
+  const Vector x = tone(4096, 30.0, 360.0, 2.0);
+  const Psd psd = welch_psd(x, config);
+  const double in_band = band_power(psd, 25.0, 35.0);
+  const double out_band = band_power(psd, 60.0, 120.0);
+  EXPECT_GT(in_band, 100.0 * out_band);
+  // Total power ≈ A²/2 = 2.0.
+  EXPECT_NEAR(band_power(psd, 0.0, 180.0), 2.0, 0.3);
+}
+
+TEST(Welch, WhiteNoiseFlatSpectrum) {
+  rng::Xoshiro256 gen(3);
+  Vector x(8192);
+  for (auto& v : x) v = rng::normal(gen);
+  WelchConfig config;
+  config.segment = 256;
+  const Psd psd = welch_psd(x, config);
+  // Compare low and high halves of the band.
+  const double low = band_power(psd, 5.0, 85.0);
+  const double high = band_power(psd, 95.0, 175.0);
+  EXPECT_NEAR(low / high, 1.0, 0.35);
+}
+
+TEST(SpectralDistortion, ZeroForIdenticalSignals) {
+  const Vector x = tone(2048, 10.0, 360.0);
+  EXPECT_NEAR(spectral_distortion_db(x, x), 0.0, 1e-9);
+}
+
+TEST(SpectralDistortion, GrowsWithAddedNoise) {
+  rng::Xoshiro256 gen(4);
+  const Vector x = tone(2048, 10.0, 360.0);
+  Vector mild = x;
+  Vector heavy = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double noise = rng::normal(gen);
+    mild[i] += 0.01 * noise;
+    heavy[i] += 0.3 * noise;
+  }
+  const double d_mild = spectral_distortion_db(x, mild);
+  const double d_heavy = spectral_distortion_db(x, heavy);
+  EXPECT_LT(d_mild, d_heavy);
+}
+
+TEST(SpectralDistortion, SizeMismatchThrows) {
+  EXPECT_THROW(spectral_distortion_db(Vector(512), Vector(511)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csecg::dsp

@@ -1,0 +1,141 @@
+// Tests for the over-the-air frame serialization.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "csecg/core/frame.hpp"
+#include "csecg/core/frontend.hpp"
+#include "csecg/ecg/record.hpp"
+
+namespace csecg::core {
+namespace {
+
+class FrameTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecg::RecordConfig record_config;
+    record_config.duration_seconds = 15.0;
+    database_ = new ecg::SyntheticDatabase(record_config, 2015);
+    config_ = new FrontEndConfig();
+    config_->window = 256;
+    config_->measurements = 48;
+    config_->wavelet_levels = 4;
+    config_->solver.max_iterations = 400;
+    codec_ = new coding::DeltaHuffmanCodec(
+        train_lowres_codec(*config_, *database_, 2, 3));
+  }
+  static void TearDownTestSuite() {
+    delete codec_;
+    delete config_;
+    delete database_;
+  }
+
+  static const ecg::SyntheticDatabase& database() { return *database_; }
+  static const FrontEndConfig& config() { return *config_; }
+  static const coding::DeltaHuffmanCodec& lowres() { return *codec_; }
+
+ private:
+  static ecg::SyntheticDatabase* database_;
+  static FrontEndConfig* config_;
+  static coding::DeltaHuffmanCodec* codec_;
+};
+
+ecg::SyntheticDatabase* FrameTest::database_ = nullptr;
+FrontEndConfig* FrameTest::config_ = nullptr;
+coding::DeltaHuffmanCodec* FrameTest::codec_ = nullptr;
+
+TEST_F(FrameTest, RoundTripPreservesEverything) {
+  const Encoder encoder(config(), lowres());
+  ASSERT_TRUE(encoder.measurement_adc().has_value());
+  const Frame frame =
+      encoder.encode(database().record(0).window(400, 256));
+  const auto bytes = serialize_frame(frame, *encoder.measurement_adc());
+  const Frame restored =
+      deserialize_frame(bytes, *encoder.measurement_adc());
+  EXPECT_EQ(restored.window, frame.window);
+  EXPECT_EQ(restored.measurement_bits, frame.measurement_bits);
+  EXPECT_EQ(restored.lowres_bits, frame.lowres_bits);
+  EXPECT_EQ(restored.lowres_payload, frame.lowres_payload);
+  // Measurement values survive exactly: they are ADC reconstruction
+  // levels, and codes round-trip losslessly.
+  EXPECT_EQ(restored.measurements, frame.measurements);
+}
+
+TEST_F(FrameTest, DecoderAcceptsDeserializedFrame) {
+  const Encoder encoder(config(), lowres());
+  const Decoder decoder(config(), lowres());
+  const linalg::Vector window = database().record(0).window(400, 256);
+  const Frame original_frame = encoder.encode(window);
+  const auto bytes =
+      serialize_frame(original_frame, *encoder.measurement_adc());
+  const Frame wire_frame =
+      deserialize_frame(bytes, *encoder.measurement_adc());
+  const DecodeResult direct = decoder.decode(original_frame);
+  const DecodeResult via_wire = decoder.decode(wire_frame);
+  EXPECT_EQ(direct.x, via_wire.x);
+}
+
+TEST_F(FrameTest, WireSizeMatchesBitAccounting) {
+  const Encoder encoder(config(), lowres());
+  const Frame frame =
+      encoder.encode(database().record(1).window(500, 256));
+  const auto bytes = serialize_frame(frame, *encoder.measurement_adc());
+  // Header: 2+2+2+1+1 = 8 bytes; measurements packed; +4 length + payload.
+  const std::size_t expected = 8 + (frame.cs_bits() + 7) / 8 + 4 +
+                               frame.lowres_payload.size();
+  EXPECT_EQ(bytes.size(), expected);
+}
+
+TEST_F(FrameTest, FrameWithoutLowResSerializes) {
+  FrontEndConfig no_lowres = config();
+  no_lowres.lowres_bits = 0;
+  const Encoder encoder(no_lowres, std::nullopt);
+  const Frame frame =
+      encoder.encode(database().record(0).window(400, 256));
+  const auto bytes = serialize_frame(frame, *encoder.measurement_adc());
+  const Frame restored =
+      deserialize_frame(bytes, *encoder.measurement_adc());
+  EXPECT_TRUE(restored.lowres_payload.empty());
+  EXPECT_EQ(restored.measurements, frame.measurements);
+}
+
+TEST_F(FrameTest, MalformedInputRejected) {
+  const Encoder encoder(config(), lowres());
+  const auto& adc = *encoder.measurement_adc();
+  const Frame frame =
+      encoder.encode(database().record(0).window(400, 256));
+  auto bytes = serialize_frame(frame, adc);
+
+  // Bad magic.
+  auto corrupted = bytes;
+  corrupted[0] ^= 0xFF;
+  EXPECT_THROW(deserialize_frame(corrupted, adc), std::invalid_argument);
+
+  // Truncation at every interesting boundary.
+  for (std::size_t cut : {std::size_t{1}, std::size_t{5}, std::size_t{9},
+                          bytes.size() - 1}) {
+    std::vector<std::uint8_t> shortened(bytes.begin(),
+                                        bytes.begin() +
+                                            static_cast<long>(cut));
+    EXPECT_THROW(deserialize_frame(shortened, adc), std::invalid_argument);
+  }
+
+  // Trailing garbage.
+  auto padded = bytes;
+  padded.push_back(0x00);
+  EXPECT_THROW(deserialize_frame(padded, adc), std::invalid_argument);
+}
+
+TEST_F(FrameTest, AdcMismatchRejected) {
+  const Encoder encoder(config(), lowres());
+  const Frame frame =
+      encoder.encode(database().record(0).window(400, 256));
+  const sensing::Quantizer other_adc(10, -100.0, 100.0,
+                                     sensing::QuantizerMode::kRound);
+  EXPECT_THROW(serialize_frame(frame, other_adc), std::invalid_argument);
+  const auto bytes = serialize_frame(frame, *encoder.measurement_adc());
+  EXPECT_THROW(deserialize_frame(bytes, other_adc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csecg::core

@@ -1,0 +1,88 @@
+// Tests for record persistence (.csrec round-trip, CSV export).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "csecg/ecg/io.hpp"
+#include "csecg/ecg/record.hpp"
+
+namespace csecg::ecg {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("csecg_io_test_") + name))
+      .string();
+}
+
+EcgRecord make_record() {
+  RecordConfig config;
+  config.duration_seconds = 5.0;
+  return generate_record(mitbih_surrogate_profiles()[2], config, 77);
+}
+
+TEST(RecordIo, SaveLoadRoundTrip) {
+  const EcgRecord original = make_record();
+  const std::string path = temp_path("roundtrip.csrec");
+  save_record(original, path);
+  const EcgRecord loaded = load_record(path);
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.samples, original.samples);
+  EXPECT_DOUBLE_EQ(loaded.config.fs_hz, original.config.fs_hz);
+  EXPECT_DOUBLE_EQ(loaded.config.adc_gain, original.config.adc_gain);
+  EXPECT_EQ(loaded.config.adc_offset, original.config.adc_offset);
+  EXPECT_EQ(loaded.config.adc_bits, original.config.adc_bits);
+  ASSERT_EQ(loaded.beats.size(), original.beats.size());
+  for (std::size_t i = 0; i < loaded.beats.size(); ++i) {
+    EXPECT_EQ(loaded.beats[i].sample, original.beats[i].sample);
+    EXPECT_EQ(loaded.beats[i].type, original.beats[i].type);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RecordIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_record(temp_path("does_not_exist.csrec")),
+               std::runtime_error);
+}
+
+TEST(RecordIo, LoadGarbageThrows) {
+  const std::string path = temp_path("garbage.csrec");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a csrec file";
+  }
+  EXPECT_THROW(load_record(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(RecordIo, LoadTruncatedThrows) {
+  const EcgRecord original = make_record();
+  const std::string path = temp_path("truncated.csrec");
+  save_record(original, path);
+  // Chop the file in half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(load_record(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(RecordIo, CsvExportWellFormed) {
+  const EcgRecord record = make_record();
+  const std::string path = temp_path("export.csv");
+  export_csv(record, path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "sample,adc_code,mv");
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, record.samples.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace csecg::ecg

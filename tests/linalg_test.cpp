@@ -1,0 +1,360 @@
+// Unit tests for csecg::linalg — vectors, matrices, factorizations,
+// operators, iterative solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "csecg/linalg/matrix.hpp"
+#include "csecg/linalg/operator.hpp"
+#include "csecg/linalg/solve.hpp"
+#include "csecg/linalg/vector.hpp"
+#include "csecg/rng/distributions.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  rng::Xoshiro256 g(seed);
+  Matrix a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) a(i, j) = rng::normal(g);
+  }
+  return a;
+}
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 g(seed);
+  Vector v(n);
+  for (auto& x : v) x = rng::normal(g);
+  return v;
+}
+
+TEST(Vector, ConstructionAndFill) {
+  Vector v(5);
+  EXPECT_EQ(v.size(), 5u);
+  for (double x : v) EXPECT_EQ(x, 0.0);
+  v.fill(2.5);
+  for (double x : v) EXPECT_EQ(x, 2.5);
+}
+
+TEST(Vector, InitializerListAndEquality) {
+  const Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_EQ(v, (Vector{1.0, 2.0, 3.0}));
+  EXPECT_NE(v, (Vector{1.0, 2.0, 4.0}));
+}
+
+TEST(Vector, Arithmetic) {
+  const Vector a{1.0, 2.0};
+  const Vector b{10.0, 20.0};
+  EXPECT_EQ(a + b, (Vector{11.0, 22.0}));
+  EXPECT_EQ(b - a, (Vector{9.0, 18.0}));
+  EXPECT_EQ(2.0 * a, (Vector{2.0, 4.0}));
+  EXPECT_EQ(a * 2.0, (Vector{2.0, 4.0}));
+}
+
+TEST(Vector, DimensionMismatchThrows) {
+  Vector a(3);
+  const Vector b(4);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+  EXPECT_THROW(axpy(1.0, b, a), std::invalid_argument);
+}
+
+TEST(Vector, DotAndNorms) {
+  const Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm2_squared(a), 25.0);
+  EXPECT_DOUBLE_EQ(norm1(a), 7.0);
+  EXPECT_DOUBLE_EQ(norm_inf(a), 4.0);
+}
+
+TEST(Vector, NormsOfNegativeEntries) {
+  const Vector a{-3.0, 4.0, -1.0};
+  EXPECT_DOUBLE_EQ(norm1(a), 8.0);
+  EXPECT_DOUBLE_EQ(norm_inf(a), 4.0);
+}
+
+TEST(Vector, AxpyAccumulates) {
+  const Vector x{1.0, -1.0};
+  Vector y{10.0, 10.0};
+  axpy(3.0, x, y);
+  EXPECT_EQ(y, (Vector{13.0, 7.0}));
+}
+
+TEST(Vector, CountAboveAndMean) {
+  const Vector v{0.0, 0.5, -2.0, 1e-9};
+  EXPECT_EQ(count_above(v, 1e-6), 2u);
+  EXPECT_DOUBLE_EQ(mean(v), (0.5 - 2.0 + 1e-9) / 4.0);
+  EXPECT_DOUBLE_EQ(mean(Vector{}), 0.0);
+  EXPECT_DOUBLE_EQ(norm_inf(Vector{}), 0.0);
+}
+
+TEST(Matrix, IdentityAndAccess) {
+  const Matrix eye = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+  EXPECT_THROW(eye.at(3, 0), std::out_of_range);
+  EXPECT_THROW(eye.at(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Vector x{1.0, 0.0, -1.0};
+  const Vector y = multiply(a, x);
+  EXPECT_EQ(y, (Vector{-2.0, -2.0}));
+  EXPECT_THROW(multiply(a, Vector(2)), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyTransposeMatchesExplicitTranspose) {
+  const Matrix a = random_matrix(6, 4, 1);
+  const Vector y = random_vector(6, 2);
+  const Vector via_fast = multiply_transpose(a, y);
+  const Vector via_explicit = multiply(transpose(a), y);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(via_fast[i], via_explicit[i], 1e-12);
+  }
+}
+
+TEST(Matrix, MatrixMultiplyAssociatesWithIdentity) {
+  const Matrix a = random_matrix(4, 5, 3);
+  const Matrix ai = multiply(a, Matrix::identity(5));
+  const Matrix ia = multiply(Matrix::identity(4), a);
+  EXPECT_LT(max_abs_diff(a, ai), 1e-15);
+  EXPECT_LT(max_abs_diff(a, ia), 1e-15);
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+  const Matrix a = random_matrix(7, 3, 4);
+  const Matrix g1 = gram(a);
+  const Matrix g2 = multiply(transpose(a), a);
+  EXPECT_LT(max_abs_diff(g1, g2), 1e-12);
+}
+
+TEST(Matrix, NormalizeColumnsUnitNorm) {
+  Matrix a = random_matrix(10, 4, 5);
+  normalize_columns(a);
+  for (std::size_t j = 0; j < 4; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 10; ++i) acc += a(i, j) * a(i, j);
+    EXPECT_NEAR(acc, 1.0, 1e-12);
+  }
+}
+
+TEST(Matrix, NormalizeColumnsLeavesZeroColumn) {
+  Matrix a(3, 2);
+  a(0, 1) = 2.0;
+  normalize_columns(a);
+  EXPECT_EQ(a(0, 0), 0.0);
+  EXPECT_NEAR(a(0, 1), 1.0, 1e-15);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  const Matrix b = random_matrix(5, 5, 6);
+  Matrix spd = gram(b);
+  for (std::size_t i = 0; i < 5; ++i) spd(i, i) += 5.0;
+  const Vector x_true = random_vector(5, 7);
+  const Vector rhs = multiply(spd, x_true);
+  const Vector x = Cholesky(spd).solve(rhs);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky(Matrix(3, 4)), std::invalid_argument);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a = Matrix::identity(2);
+  a(1, 1) = -1.0;
+  EXPECT_THROW(Cholesky{a}, std::runtime_error);
+}
+
+TEST(Cholesky, FactorReproducesMatrix) {
+  const Matrix b = random_matrix(4, 4, 8);
+  Matrix spd = gram(b);
+  for (std::size_t i = 0; i < 4; ++i) spd(i, i) += 3.0;
+  const Cholesky chol(spd);
+  const Matrix l = chol.factor();
+  const Matrix llt = multiply(l, transpose(l));
+  EXPECT_LT(max_abs_diff(spd, llt), 1e-10);
+}
+
+TEST(HouseholderQr, SolvesSquareSystem) {
+  const Matrix a = random_matrix(6, 6, 9);
+  const Vector x_true = random_vector(6, 10);
+  const Vector b = multiply(a, x_true);
+  const Vector x = HouseholderQr(a).solve(b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(HouseholderQr, LeastSquaresResidualOrthogonal) {
+  const Matrix a = random_matrix(12, 5, 11);
+  const Vector b = random_vector(12, 12);
+  const Vector x = least_squares(a, b);
+  // Normal equations: Aᵀ(b − Ax) = 0.
+  Vector r = b - multiply(a, x);
+  const Vector atr = multiply_transpose(a, r);
+  EXPECT_LT(norm_inf(atr), 1e-9);
+}
+
+TEST(HouseholderQr, RejectsUnderdetermined) {
+  EXPECT_THROW(HouseholderQr(Matrix(3, 5)), std::invalid_argument);
+}
+
+TEST(HouseholderQr, DetectsRankDeficiency) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);  // Dependent column.
+  }
+  EXPECT_THROW(HouseholderQr(a).solve(Vector(4)), std::runtime_error);
+}
+
+TEST(HouseholderQr, RFactorIsUpperTriangularAndConsistent) {
+  const Matrix a = random_matrix(8, 4, 13);
+  const HouseholderQr qr(a);
+  const Matrix r = qr.r();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < i; ++j) EXPECT_EQ(r(i, j), 0.0);
+  }
+  // ‖R‖F == ‖A‖F for an orthogonal factorization.
+  EXPECT_NEAR(frobenius_norm(r), frobenius_norm(a), 1e-9);
+}
+
+TEST(TriangularSolvers, RoundTrip) {
+  Matrix l(3, 3);
+  l(0, 0) = 2;
+  l(1, 0) = 1;
+  l(1, 1) = 3;
+  l(2, 0) = -1;
+  l(2, 1) = 0.5;
+  l(2, 2) = 4;
+  const Vector x_true{1.0, -2.0, 0.5};
+  EXPECT_EQ(solve_lower(l, multiply(l, x_true)).size(), 3u);
+  const Vector x = solve_lower(l, multiply(l, x_true));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-12);
+  const Matrix u = transpose(l);
+  const Vector xu = solve_upper(u, multiply(u, x_true));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(xu[i], x_true[i], 1e-12);
+}
+
+TEST(TriangularSolvers, ZeroDiagonalThrows) {
+  Matrix l = Matrix::identity(2);
+  l(1, 1) = 0.0;
+  EXPECT_THROW(solve_lower(l, Vector(2)), std::invalid_argument);
+  EXPECT_THROW(solve_upper(l, Vector(2)), std::invalid_argument);
+}
+
+TEST(LinearOperator, FromMatrixMatchesDense) {
+  const Matrix a = random_matrix(4, 6, 14);
+  const LinearOperator op = LinearOperator::from_matrix(a);
+  EXPECT_EQ(op.rows(), 4u);
+  EXPECT_EQ(op.cols(), 6u);
+  const Vector x = random_vector(6, 15);
+  const Vector y1 = op.apply(x);
+  const Vector y2 = multiply(a, x);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-14);
+}
+
+TEST(LinearOperator, DimensionValidation) {
+  const LinearOperator op =
+      LinearOperator::from_matrix(random_matrix(4, 6, 16));
+  EXPECT_THROW(op.apply(Vector(4)), std::invalid_argument);
+  EXPECT_THROW(op.apply_adjoint(Vector(6)), std::invalid_argument);
+}
+
+TEST(LinearOperator, VstackStacksAndAdjoints) {
+  const Matrix a = random_matrix(3, 5, 17);
+  const Matrix b = random_matrix(2, 5, 18);
+  const LinearOperator stacked = LinearOperator::vstack(
+      LinearOperator::from_matrix(a), LinearOperator::from_matrix(b));
+  EXPECT_EQ(stacked.rows(), 5u);
+  EXPECT_EQ(stacked.cols(), 5u);
+  EXPECT_LT(adjoint_mismatch(stacked), 1e-12);
+  const Vector x = random_vector(5, 19);
+  const Vector y = stacked.apply(x);
+  const Vector ya = multiply(a, x);
+  const Vector yb = multiply(b, x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(y[i], ya[i], 1e-14);
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_NEAR(y[3 + i], yb[i], 1e-14);
+}
+
+TEST(LinearOperator, ComposeMatchesProduct) {
+  const Matrix a = random_matrix(3, 4, 20);
+  const Matrix b = random_matrix(4, 6, 21);
+  const LinearOperator composed = LinearOperator::from_matrix(a).compose(
+      LinearOperator::from_matrix(b));
+  const Matrix ab = multiply(a, b);
+  const Vector x = random_vector(6, 22);
+  const Vector y1 = composed.apply(x);
+  const Vector y2 = multiply(ab, x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+  EXPECT_LT(adjoint_mismatch(composed), 1e-12);
+}
+
+TEST(LinearOperator, IdentityIsIdentity) {
+  const LinearOperator id = LinearOperator::identity(4);
+  const Vector x = random_vector(4, 23);
+  EXPECT_EQ(id.apply(x), x);
+  EXPECT_EQ(id.apply_adjoint(x), x);
+}
+
+TEST(OperatorNorm, MatchesKnownSingularValue) {
+  // Diagonal operator: norm is max |diag|.
+  Matrix d(3, 3);
+  d(0, 0) = 1.0;
+  d(1, 1) = -7.0;
+  d(2, 2) = 3.0;
+  const double est =
+      operator_norm_estimate(LinearOperator::from_matrix(d), 200);
+  EXPECT_NEAR(est, 7.0, 1e-6);
+}
+
+TEST(OperatorNorm, IdentityHasUnitNorm) {
+  EXPECT_NEAR(operator_norm_estimate(LinearOperator::identity(10), 30), 1.0,
+              1e-9);
+}
+
+TEST(ConjugateGradient, SolvesSpdSystem) {
+  const Matrix b = random_matrix(8, 8, 24);
+  Matrix spd = gram(b);
+  for (std::size_t i = 0; i < 8; ++i) spd(i, i) += 4.0;
+  const Vector x_true = random_vector(8, 25);
+  const Vector rhs = multiply(spd, x_true);
+  const CgResult res =
+      conjugate_gradient(LinearOperator::from_matrix(spd), rhs, 200, 1e-12);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(res.x[i], x_true[i], 1e-7);
+}
+
+TEST(ConjugateGradient, ZeroRhsGivesZero) {
+  const CgResult res = conjugate_gradient(LinearOperator::identity(5),
+                                          Vector(5), 10, 1e-12);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.x, Vector(5));
+}
+
+TEST(AdjointMismatch, DetectsWrongAdjoint) {
+  // Deliberately wrong adjoint (scaled by 2).
+  const LinearOperator bad(
+      3, 3, [](const Vector& x) { return x; },
+      [](const Vector& y) { return 2.0 * y; });
+  EXPECT_GT(adjoint_mismatch(bad), 0.1);
+}
+
+}  // namespace
+}  // namespace csecg::linalg

@@ -1,0 +1,170 @@
+// Unit tests for csecg::metrics — PRD/SNR/CR definitions and the summary /
+// box-plot statistics used by the experiment harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "csecg/metrics/quality.hpp"
+#include "csecg/metrics/stats.hpp"
+
+namespace csecg::metrics {
+namespace {
+
+using linalg::Vector;
+
+TEST(Prd, PerfectReconstructionIsZero) {
+  const Vector x{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(prd(x, x), 0.0);
+}
+
+TEST(Prd, KnownValue) {
+  const Vector x{3.0, 4.0};          // ‖x‖ = 5
+  const Vector y{3.0, 3.0};          // error norm = 1
+  EXPECT_DOUBLE_EQ(prd(x, y), 20.0);  // 1/5·100
+}
+
+TEST(Prd, MismatchedSizesThrow) {
+  EXPECT_THROW(prd(Vector{1.0}, Vector{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(prd(Vector{}, Vector{}), std::invalid_argument);
+  EXPECT_THROW(prd(Vector{0.0, 0.0}, Vector{1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Prd, ZeroMeanVariantIgnoresSharedBaseline) {
+  // Raw PRD shrinks when a large DC offset inflates ‖x‖; the zero-mean
+  // variant is invariant to it.
+  const Vector x{1.0, -1.0, 1.0, -1.0};
+  const Vector y{0.5, -0.5, 0.5, -0.5};
+  Vector x_off = x;
+  Vector y_off = y;
+  for (std::size_t i = 0; i < 4; ++i) {
+    x_off[i] += 1000.0;
+    y_off[i] += 1000.0;
+  }
+  EXPECT_NEAR(prd_zero_mean(x, y), prd_zero_mean(x_off, y_off), 1e-9);
+  EXPECT_LT(prd(x_off, y_off), prd(x, y));
+}
+
+TEST(Prd, ZeroMeanConstantReferenceThrows) {
+  EXPECT_THROW(prd_zero_mean(Vector{2.0, 2.0}, Vector{1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Snr, PrdSnrRoundTrip) {
+  for (double p : {0.5, 1.0, 5.0, 20.0, 100.0}) {
+    EXPECT_NEAR(prd_from_snr(snr_from_prd(p)), p, 1e-9);
+  }
+}
+
+TEST(Snr, PaperAnchorValues) {
+  // PRD = 1% ⇒ SNR = 40 dB; PRD = 10% ⇒ 20 dB; PRD = 100% ⇒ 0 dB.
+  EXPECT_NEAR(snr_from_prd(1.0), 40.0, 1e-12);
+  EXPECT_NEAR(snr_from_prd(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(snr_from_prd(100.0), 0.0, 1e-12);
+  EXPECT_THROW(snr_from_prd(0.0), std::invalid_argument);
+}
+
+TEST(Snr, DirectMatchesViaPrd) {
+  const Vector x{3.0, 4.0};
+  const Vector y{3.0, 3.0};
+  EXPECT_NEAR(snr(x, y), snr_from_prd(prd(x, y)), 1e-12);
+}
+
+TEST(CompressionRatio, Equation3) {
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 500), 50.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 0), 100.0);
+  // Expansion yields a negative CR rather than a silent clamp.
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 1200), -20.0);
+  EXPECT_THROW(compression_ratio(0, 10), std::invalid_argument);
+}
+
+TEST(Overhead, Equation2PaperAnchor) {
+  // Paper §IV: 7-bit channel ⇒ 7.86% overhead ⇒ compressed fraction 13.47%.
+  const double di = side_channel_overhead(0.1347, 7);
+  EXPECT_NEAR(di, 7.86, 0.01);
+  EXPECT_THROW(side_channel_overhead(-0.1, 7), std::invalid_argument);
+  EXPECT_THROW(side_channel_overhead(0.5, 0), std::invalid_argument);
+}
+
+TEST(Overhead, ScalesLinearlyInBits) {
+  const double d4 = side_channel_overhead(0.25, 4);
+  const double d8 = side_channel_overhead(0.25, 8);
+  EXPECT_NEAR(d8, 2.0 * d4, 1e-12);
+}
+
+TEST(NetCr, PaperAnchor) {
+  // 81% CS CR − 7.86% overhead ≈ 73.14% net (paper §V).
+  EXPECT_NEAR(net_compression_ratio(81.0, 7.86), 73.14, 1e-9);
+}
+
+TEST(Summary, BasicMoments) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Summary, SingleValue) {
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  EXPECT_THROW(summarize({}), std::invalid_argument);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 17.5);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({30.0, 10.0, 20.0}, 50.0), 20.0);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(BoxStats, NoOutliers) {
+  const BoxStats b = box_stats({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.q3, 4.0);
+  EXPECT_DOUBLE_EQ(b.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 5.0);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(BoxStats, DetectsOutliers) {
+  // 100 is far beyond q3 + 1.5·IQR.
+  const BoxStats b = box_stats({1.0, 2.0, 3.0, 4.0, 5.0, 100.0});
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 100.0);
+  // Whisker stops at the most extreme inlier, matching MATLAB boxplot.
+  EXPECT_DOUBLE_EQ(b.whisker_high, 5.0);
+}
+
+TEST(BoxStats, AllEqualValues) {
+  const BoxStats b = box_stats({2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.q3, 2.0);
+  EXPECT_DOUBLE_EQ(b.whisker_low, 2.0);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 2.0);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+}  // namespace
+}  // namespace csecg::metrics

@@ -1,0 +1,83 @@
+// Tests for the whole-node energy model.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "csecg/power/node_energy.hpp"
+
+namespace csecg::power {
+namespace {
+
+TEST(NodeEnergy, Validation) {
+  NodeEnergyParams bad;
+  bad.radio_nj_per_bit = -1.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  HybridDesign design;
+  EXPECT_THROW(window_energy(design, TechnologyParams{},
+                             NodeEnergyParams{}, 1000, 0.0),
+               std::invalid_argument);
+}
+
+TEST(NodeEnergy, RadioEnergyExactPerBit) {
+  NodeEnergyParams node;
+  node.radio_nj_per_bit = 50.0;
+  node.mcu_nj_per_coded_bit = 0.0;
+  RmpiDesign design;
+  const NodeEnergy e =
+      window_energy(design, TechnologyParams{}, node, 1000, 1.0);
+  EXPECT_NEAR(e.radio, 1000.0 * 50e-9, 1e-15);
+  EXPECT_DOUBLE_EQ(e.digital, 0.0);
+}
+
+TEST(NodeEnergy, AnalogEqualsPowerTimesDuration) {
+  TechnologyParams tech;
+  RmpiDesign design;
+  const double duration = 512.0 / 360.0;
+  const NodeEnergy e = window_energy(design, tech, NodeEnergyParams{}, 0,
+                                     duration);
+  EXPECT_NEAR(e.analog, rmpi_power(design, tech).total() * duration,
+              1e-15);
+  EXPECT_DOUBLE_EQ(e.radio, 0.0);
+}
+
+TEST(NodeEnergy, HybridIncludesLowResAdc) {
+  TechnologyParams tech;
+  HybridDesign hybrid;
+  hybrid.cs_path.channels = 96;
+  RmpiDesign plain = hybrid.cs_path;
+  const NodeEnergy eh =
+      window_energy(hybrid, tech, NodeEnergyParams{}, 0, 1.0);
+  const NodeEnergy ep =
+      window_energy(plain, tech, NodeEnergyParams{}, 0, 1.0);
+  EXPECT_GT(eh.analog, ep.analog);  // Low-res ADC adds (a little).
+  EXPECT_LT(eh.analog, ep.analog * 1.01);
+}
+
+TEST(NodeEnergy, TotalsAndAveragePower) {
+  NodeEnergy e;
+  e.analog = 1e-6;
+  e.radio = 2e-6;
+  e.digital = 0.5e-6;
+  EXPECT_DOUBLE_EQ(e.total(), 3.5e-6);
+  EXPECT_NEAR(average_power(e, 2.0), 1.75e-6, 1e-18);
+  EXPECT_THROW(average_power(e, 0.0), std::invalid_argument);
+}
+
+TEST(NodeEnergy, FewerChannelsAlwaysCheaper) {
+  TechnologyParams tech;
+  NodeEnergyParams node;
+  HybridDesign small;
+  small.cs_path.channels = 16;
+  HybridDesign big;
+  big.cs_path.channels = 240;
+  const double duration = 512.0 / 360.0;
+  // Air bits scale with m too (12 bits per measurement).
+  const NodeEnergy e_small =
+      window_energy(small, tech, node, 16 * 12 + 700, duration);
+  const NodeEnergy e_big =
+      window_energy(big, tech, node, 240 * 12 + 700, duration);
+  EXPECT_LT(e_small.total(), e_big.total());
+}
+
+}  // namespace
+}  // namespace csecg::power

@@ -1,0 +1,190 @@
+// Unit tests for csecg::power — Eq. 4/5/9 scaling laws, the paper's §VI
+// headline ratios, and sweep utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "csecg/power/models.hpp"
+
+namespace csecg::power {
+namespace {
+
+TEST(TechnologyValidation, RejectsNonsense) {
+  TechnologyParams bad;
+  bad.fom_j_per_conv = 0.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = TechnologyParams{};
+  bad.nef = -1.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+TEST(DesignValidation, RejectsNonsense) {
+  RmpiDesign bad;
+  bad.channels = 0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = RmpiDesign{};
+  bad.channels = 1024;
+  bad.window = 512;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  HybridDesign hybrid;
+  hybrid.lowres_bits = 0;
+  EXPECT_THROW(validate(hybrid), std::invalid_argument);
+}
+
+TEST(AdcPower, Equation4Exact) {
+  TechnologyParams tech;
+  // P = (m/n)·FOM·2^B·fs = (240/512)·100e-15·4096·720.
+  const double expected = 240.0 / 512.0 * 100e-15 * 4096.0 * 720.0;
+  EXPECT_NEAR(adc_power(240, 512, 12, 720.0, tech), expected, 1e-18);
+}
+
+TEST(AdcPower, DoublesPerBit) {
+  TechnologyParams tech;
+  const double p8 = adc_power(64, 512, 8, 720.0, tech);
+  const double p9 = adc_power(64, 512, 9, 720.0, tech);
+  EXPECT_NEAR(p9 / p8, 2.0, 1e-12);
+}
+
+TEST(IntegratorPower, Equation5Exact) {
+  TechnologyParams tech;
+  const double bw = 360.0;
+  const double expected = 2.0 * bw * 240.0 * tech.vdd * tech.vdd * 10.0 *
+                          M_PI * 512.0 * tech.cp_farad / 16.0;
+  EXPECT_NEAR(integrator_power(240, 512, 720.0, tech), expected,
+              expected * 1e-12);
+}
+
+TEST(AmplifierPower, GainAndNefQuadratic) {
+  TechnologyParams tech;
+  const double base = amplifier_power(240, 512, 10, 720.0, tech);
+  TechnologyParams double_nef = tech;
+  double_nef.nef *= 2.0;
+  EXPECT_NEAR(amplifier_power(240, 512, 10, 720.0, double_nef) / base, 4.0,
+              1e-9);
+  TechnologyParams more_gain = tech;
+  more_gain.gain_db += 6.0205999132796239;  // ×2 linear gain.
+  EXPECT_NEAR(amplifier_power(240, 512, 10, 720.0, more_gain) / base, 4.0,
+              1e-6);
+}
+
+TEST(AmplifierPower, FourXPerOutputBit) {
+  TechnologyParams tech;
+  const double p8 = amplifier_power(64, 512, 8, 720.0, tech);
+  const double p9 = amplifier_power(64, 512, 9, 720.0, tech);
+  EXPECT_NEAR(p9 / p8, 4.0, 1e-12);
+}
+
+TEST(AllBlocks, LinearInChannelCount) {
+  // §VI: "power consumption of the module is directly proportional to the
+  // number of measurements" — every block must scale linearly in m.
+  TechnologyParams tech;
+  RmpiDesign a;
+  a.channels = 96;
+  RmpiDesign b;
+  b.channels = 240;
+  const PowerBreakdown pa = rmpi_power(a, tech);
+  const PowerBreakdown pb = rmpi_power(b, tech);
+  const double ratio = 240.0 / 96.0;
+  EXPECT_NEAR(pb.adc / pa.adc, ratio, 1e-12);
+  EXPECT_NEAR(pb.integrator / pa.integrator, ratio, 1e-12);
+  EXPECT_NEAR(pb.amplifier / pa.amplifier, ratio, 1e-12);
+  EXPECT_NEAR(pb.total() / pa.total(), ratio, 1e-12);
+}
+
+TEST(Headline, TwoPointFiveXAtSnr20) {
+  // m = 240 (normal) vs 96 (hybrid) at SNR = 20 dB: ratio ≈ 2.5× before
+  // the (small) low-res ADC overhead is added back.
+  TechnologyParams tech;
+  RmpiDesign normal;
+  normal.channels = 240;
+  HybridDesign hybrid;
+  hybrid.cs_path = normal;
+  hybrid.cs_path.channels = 96;
+  const double p_normal = rmpi_power(normal, tech).total();
+  const double p_hybrid = hybrid_power(hybrid, tech).total();
+  EXPECT_NEAR(p_normal / p_hybrid, 2.5, 0.05);
+}
+
+TEST(Headline, ElevenXAtSnr17) {
+  // m = 176 vs 16 at SNR = 17 dB: ≈ 11×.
+  TechnologyParams tech;
+  RmpiDesign normal;
+  normal.channels = 176;
+  HybridDesign hybrid;
+  hybrid.cs_path = normal;
+  hybrid.cs_path.channels = 16;
+  const double ratio = rmpi_power(normal, tech).total() /
+                       hybrid_power(hybrid, tech).total();
+  EXPECT_GT(ratio, 9.0);
+  EXPECT_LT(ratio, 11.5);
+}
+
+TEST(AmplifierDominates, AtEcgRates) {
+  // §VI: "the dominant part of power consumption — with a large margin —
+  // is the amplifier".
+  TechnologyParams tech;
+  RmpiDesign design;  // 240 channels @ 720 Hz.
+  const PowerBreakdown p = rmpi_power(design, tech);
+  EXPECT_GT(p.amplifier, 10.0 * p.adc);
+  EXPECT_GT(p.amplifier, 10.0 * p.integrator);
+}
+
+TEST(LowResAdc, NegligibleVersusCsPath) {
+  // The paper: "overall power consumption from this path should be
+  // negligible compared to CS path".
+  TechnologyParams tech;
+  HybridDesign hybrid;
+  hybrid.cs_path.channels = 96;
+  const HybridPowerBreakdown p = hybrid_power(hybrid, tech);
+  EXPECT_LT(p.lowres_adc, 0.01 * p.cs.total());
+}
+
+TEST(LowResAdc, ExactFormula) {
+  TechnologyParams tech;
+  EXPECT_NEAR(lowres_adc_power(7, 720.0, tech),
+              720.0 * 100e-15 * 128.0, 1e-18);
+}
+
+TEST(Sweep, GeometricSpacingAndMonotonePower) {
+  TechnologyParams tech;
+  RmpiDesign design;
+  const auto sweep = frequency_sweep(design, tech, 100.0, 1e8, 25);
+  ASSERT_EQ(sweep.size(), 25u);
+  EXPECT_NEAR(sweep.front().nyquist_hz, 100.0, 1e-9);
+  EXPECT_NEAR(sweep.back().nyquist_hz, 1e8, 1.0);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    // Log-spacing: constant ratio.
+    const double r0 = sweep[1].nyquist_hz / sweep[0].nyquist_hz;
+    const double ri = sweep[i].nyquist_hz / sweep[i - 1].nyquist_hz;
+    EXPECT_NEAR(ri, r0, r0 * 1e-9);
+    // All blocks scale linearly in fs → total strictly increasing.
+    EXPECT_GT(sweep[i].breakdown.total(), sweep[i - 1].breakdown.total());
+  }
+}
+
+TEST(Sweep, Validation) {
+  TechnologyParams tech;
+  RmpiDesign design;
+  EXPECT_THROW(frequency_sweep(design, tech, 0.0, 1e6, 10),
+               std::invalid_argument);
+  EXPECT_THROW(frequency_sweep(design, tech, 1e6, 1e3, 10),
+               std::invalid_argument);
+  EXPECT_THROW(frequency_sweep(design, tech, 1e3, 1e6, 1),
+               std::invalid_argument);
+}
+
+TEST(Breakdown, TotalsAdd) {
+  PowerBreakdown p;
+  p.adc = 1.0;
+  p.integrator = 2.0;
+  p.amplifier = 3.0;
+  EXPECT_DOUBLE_EQ(p.total(), 6.0);
+  HybridPowerBreakdown h;
+  h.cs = p;
+  h.lowres_adc = 0.5;
+  EXPECT_DOUBLE_EQ(h.total(), 6.5);
+}
+
+}  // namespace
+}  // namespace csecg::power

@@ -1,0 +1,129 @@
+// Unit tests for the QRS detector and beat-matching diagnostics.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "csecg/ecg/qrs.hpp"
+#include "csecg/ecg/record.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::ecg {
+namespace {
+
+TEST(QrsConfig, Validation) {
+  QrsDetectorConfig bad;
+  bad.fs_hz = 0.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = QrsDetectorConfig{};
+  bad.bandpass_low_hz = 20.0;  // > high.
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = QrsDetectorConfig{};
+  bad.bandpass_high_hz = 300.0;  // > Nyquist at 360 Hz.
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = QrsDetectorConfig{};
+  bad.threshold_fraction = 1.5;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+TEST(QrsDetector, EmptyAndTinySignals) {
+  EXPECT_TRUE(detect_qrs(linalg::Vector{}).empty());
+  EXPECT_TRUE(detect_qrs(linalg::Vector(4, 1.0)).empty());
+}
+
+TEST(QrsDetector, FlatSignalNoBeats) {
+  EXPECT_TRUE(detect_qrs(linalg::Vector(3600, 1024.0)).empty());
+}
+
+TEST(QrsDetector, FindsSyntheticBeats) {
+  rng::Xoshiro256 gen(5);
+  EcgSynConfig config;
+  config.rhythm.mean_hr_bpm = 70.0;
+  const SynthesizedEcg ecg = synthesize(config, 30.0, gen);
+  const auto detected = detect_qrs(ecg.signal_mv);
+  // ~35 beats in 30 s at 70 bpm.
+  EXPECT_NEAR(static_cast<double>(detected.size()),
+              static_cast<double>(ecg.beats.size()), 3.0);
+}
+
+TEST(QrsDetector, HighSensitivityOnCleanRecord) {
+  RecordConfig config;
+  config.duration_seconds = 30.0;
+  const EcgRecord record =
+      generate_record(mitbih_surrogate_profiles()[0], config, 7);
+  linalg::Vector signal(record.size());
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    signal[i] = static_cast<double>(record.samples[i]);
+  }
+  const auto detected = detect_qrs(signal);
+  std::vector<std::size_t> reference;
+  for (const auto& beat : record.beats) reference.push_back(beat.sample);
+  const auto stats = match_beats(detected, reference, 18);  // ±50 ms.
+  EXPECT_GT(stats.sensitivity, 0.9);
+  EXPECT_GT(stats.ppv, 0.9);
+}
+
+TEST(QrsDetector, WorksWithDcOffset) {
+  rng::Xoshiro256 gen(6);
+  const SynthesizedEcg ecg = synthesize(EcgSynConfig{}, 20.0, gen);
+  linalg::Vector offset = ecg.signal_mv;
+  for (auto& v : offset) v = v * 200.0 + 1024.0;  // ADC units.
+  const auto plain = detect_qrs(ecg.signal_mv);
+  const auto shifted = detect_qrs(offset);
+  EXPECT_EQ(plain.size(), shifted.size());
+}
+
+TEST(MatchBeats, PerfectMatch) {
+  const std::vector<std::size_t> beats{100, 400, 700};
+  const auto stats = match_beats(beats, beats, 10);
+  EXPECT_EQ(stats.true_positives, 3u);
+  EXPECT_EQ(stats.false_positives, 0u);
+  EXPECT_EQ(stats.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(stats.f1, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_jitter_samples, 0.0);
+}
+
+TEST(MatchBeats, JitterWithinTolerance) {
+  const auto stats = match_beats({105, 395}, {100, 400}, 10);
+  EXPECT_EQ(stats.true_positives, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_jitter_samples, 5.0);
+}
+
+TEST(MatchBeats, MissesAndExtras) {
+  // Reference has 3 beats; detector found one good, one spurious.
+  const auto stats = match_beats({100, 900}, {100, 400, 700}, 10);
+  EXPECT_EQ(stats.true_positives, 1u);
+  EXPECT_EQ(stats.false_negatives, 2u);
+  EXPECT_EQ(stats.false_positives, 1u);
+  EXPECT_NEAR(stats.sensitivity, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.ppv, 0.5, 1e-12);
+}
+
+TEST(MatchBeats, EachDetectionUsedOnce) {
+  // One detection cannot satisfy two reference beats.
+  const auto stats = match_beats({100}, {95, 105}, 10);
+  EXPECT_EQ(stats.true_positives, 1u);
+  EXPECT_EQ(stats.false_negatives, 1u);
+}
+
+TEST(MatchBeats, EmptyInputs) {
+  const auto none = match_beats({}, {}, 10);
+  EXPECT_EQ(none.true_positives, 0u);
+  EXPECT_DOUBLE_EQ(none.f1, 0.0);
+  const auto all_missed = match_beats({}, {100}, 10);
+  EXPECT_EQ(all_missed.false_negatives, 1u);
+  const auto all_spurious = match_beats({100}, {}, 10);
+  EXPECT_EQ(all_spurious.false_positives, 1u);
+}
+
+TEST(AnnotationsInWindow, RebasesAndFilters) {
+  std::vector<BeatAnnotation> beats;
+  beats.push_back({50, BeatType::kNormal});
+  beats.push_back({150, BeatType::kPvc});
+  beats.push_back({250, BeatType::kNormal});
+  const auto in_window = annotations_in_window(beats, 100, 100);
+  ASSERT_EQ(in_window.size(), 1u);
+  EXPECT_EQ(in_window[0], 50u);  // 150 − 100.
+}
+
+}  // namespace
+}  // namespace csecg::ecg

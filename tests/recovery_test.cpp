@@ -1,0 +1,486 @@
+// Unit tests for csecg::recovery — proximal operators, the PDHG
+// box-constrained BPDN solver (paper problem (1)), FISTA/ADMM LASSO
+// agreement, and greedy pursuit exact-recovery properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "csecg/linalg/matrix.hpp"
+#include "csecg/linalg/operator.hpp"
+#include "csecg/recovery/admm.hpp"
+#include "csecg/recovery/fista.hpp"
+#include "csecg/recovery/greedy.hpp"
+#include "csecg/recovery/pdhg.hpp"
+#include "csecg/recovery/prox.hpp"
+#include "csecg/rng/distributions.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::recovery {
+namespace {
+
+using linalg::LinearOperator;
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix gaussian_matrix(std::size_t m, std::size_t n, std::uint64_t seed,
+                       bool normalize = true) {
+  rng::Xoshiro256 gen(seed);
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng::normal(gen);
+  }
+  if (normalize) linalg::normalize_columns(a);
+  return a;
+}
+
+Vector sparse_vector(std::size_t n, std::size_t k, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Vector x(n);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t idx = 0;
+    do {
+      idx = static_cast<std::size_t>(rng::uniform_below(gen, n));
+    } while (x[idx] != 0.0);
+    // Amplitudes bounded away from zero so support identification is
+    // well-posed for the greedy solvers.
+    x[idx] = static_cast<double>(rng::rademacher(gen)) *
+             rng::uniform(gen, 1.0, 3.0);
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// Proximal operators.
+
+TEST(Prox, SoftThresholdScalar) {
+  EXPECT_DOUBLE_EQ(soft_threshold(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(-3.0, 1.0), -2.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(-0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(2.0, 0.0), 2.0);
+}
+
+TEST(Prox, SoftThresholdVector) {
+  const Vector v{3.0, -0.5, -4.0};
+  const Vector out = soft_threshold(v, 1.0);
+  EXPECT_EQ(out, (Vector{2.0, 0.0, -3.0}));
+  EXPECT_THROW(soft_threshold(v, -1.0), std::invalid_argument);
+}
+
+TEST(Prox, L2BallInsideUntouched) {
+  const Vector v{1.0, 0.0};
+  const Vector c{0.5, 0.0};
+  EXPECT_EQ(project_l2_ball(v, c, 1.0), v);
+}
+
+TEST(Prox, L2BallProjectsToSurface) {
+  const Vector v{3.0, 4.0};
+  const Vector c(2);
+  const Vector p = project_l2_ball(v, c, 1.0);
+  EXPECT_NEAR(linalg::norm2(p), 1.0, 1e-12);
+  // Direction preserved.
+  EXPECT_NEAR(p[0] / p[1], 3.0 / 4.0, 1e-12);
+}
+
+TEST(Prox, L2BallZeroRadiusReturnsCenter) {
+  const Vector v{3.0, 4.0};
+  const Vector c{1.0, 1.0};
+  const Vector p = project_l2_ball(v, c, 0.0);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 1.0, 1e-12);
+}
+
+TEST(Prox, L2BallValidation) {
+  EXPECT_THROW(project_l2_ball(Vector{1.0}, Vector{1.0, 2.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(project_l2_ball(Vector{1.0}, Vector{1.0}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Prox, BoxClamps) {
+  const Vector v{-5.0, 0.5, 5.0};
+  const Vector lo{0.0, 0.0, 0.0};
+  const Vector hi{1.0, 1.0, 1.0};
+  EXPECT_EQ(project_box(v, lo, hi), (Vector{0.0, 0.5, 1.0}));
+}
+
+TEST(Prox, BoxValidation) {
+  EXPECT_THROW(project_box(Vector{1.0}, Vector{2.0}, Vector{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(project_box(Vector{1.0, 2.0}, Vector{0.0}, Vector{1.0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// PDHG (problem (1) and the normal-CS baseline).
+
+TEST(Pdhg, OptionsValidation) {
+  PdhgOptions bad;
+  bad.max_iterations = 0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = PdhgOptions{};
+  bad.theta = 1.5;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = PdhgOptions{};
+  bad.step_safety = 1.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+TEST(Pdhg, DimensionValidation) {
+  const Matrix a = gaussian_matrix(10, 32, 1);
+  const auto phi = LinearOperator::from_matrix(a);
+  const auto psi = LinearOperator::identity(32);
+  EXPECT_THROW(solve_bpdn(phi, LinearOperator::identity(16), Vector(10), 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(solve_bpdn(phi, psi, Vector(9), 0.1), std::invalid_argument);
+  EXPECT_THROW(solve_bpdn(phi, psi, Vector(10), -1.0), std::invalid_argument);
+  BoxConstraint box;
+  box.lower = Vector(32, 1.0);
+  box.upper = Vector(32, 0.0);  // Empty boxes.
+  EXPECT_THROW(solve_bpdn(phi, psi, Vector(10), 0.1, box),
+               std::invalid_argument);
+}
+
+TEST(Pdhg, RecoversSparseSignalNoiseless) {
+  // Identity dictionary: x itself is sparse.
+  const std::size_t n = 64;
+  const std::size_t m = 32;
+  const Matrix a = gaussian_matrix(m, n, 2);
+  const Vector x_true = sparse_vector(n, 4, 3);
+  const Vector y = linalg::multiply(a, x_true);
+  PdhgOptions options;
+  options.max_iterations = 5000;
+  options.tol = 1e-9;
+  const PdhgResult res = solve_bpdn(LinearOperator::from_matrix(a),
+                                    LinearOperator::identity(n), y, 1e-8,
+                                    std::nullopt, options);
+  EXPECT_LT(linalg::norm2(res.x - x_true) / linalg::norm2(x_true), 1e-3);
+}
+
+TEST(Pdhg, ObjectiveNotWorseThanTruth) {
+  // ℓ1 minimality: the solution's ℓ1 norm can't exceed the (feasible)
+  // ground truth's by more than the tolerance slack.
+  const std::size_t n = 64;
+  const Matrix a = gaussian_matrix(24, n, 4);
+  const Vector x_true = sparse_vector(n, 3, 5);
+  const Vector y = linalg::multiply(a, x_true);
+  PdhgOptions options;
+  options.max_iterations = 4000;
+  const PdhgResult res =
+      solve_bpdn(LinearOperator::from_matrix(a), LinearOperator::identity(n),
+                 y, 1e-6, std::nullopt, options);
+  EXPECT_LE(res.objective, linalg::norm1(x_true) * (1.0 + 1e-2));
+}
+
+TEST(Pdhg, RespectsNoiseBall) {
+  const std::size_t n = 64;
+  const std::size_t m = 24;
+  const Matrix a = gaussian_matrix(m, n, 6);
+  const Vector x_true = sparse_vector(n, 3, 7);
+  rng::Xoshiro256 gen(8);
+  Vector y = linalg::multiply(a, x_true);
+  for (auto& v : y) v += rng::normal(gen, 0.0, 0.01);
+  const double sigma = 0.01 * std::sqrt(static_cast<double>(m)) * 1.5;
+  PdhgOptions options;
+  options.max_iterations = 3000;
+  const PdhgResult res =
+      solve_bpdn(LinearOperator::from_matrix(a), LinearOperator::identity(n),
+                 y, sigma, std::nullopt, options);
+  const double resid = linalg::norm2(linalg::multiply(a, res.x) - y);
+  EXPECT_LE(resid, sigma * 1.02);
+}
+
+TEST(Pdhg, BoxConstraintHonored) {
+  const std::size_t n = 64;
+  const Matrix a = gaussian_matrix(16, n, 9);
+  const Vector x_true = sparse_vector(n, 3, 10);
+  const Vector y = linalg::multiply(a, x_true);
+  BoxConstraint box;
+  box.lower = Vector(n);
+  box.upper = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    box.lower[i] = x_true[i] - 0.05;
+    box.upper[i] = x_true[i] + 0.05;
+  }
+  PdhgOptions options;
+  options.max_iterations = 3000;
+  const PdhgResult res =
+      solve_bpdn(LinearOperator::from_matrix(a), LinearOperator::identity(n),
+                 y, 1e-6, box, options);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GE(res.x[i], box.lower[i] - 0.005);
+    EXPECT_LE(res.x[i], box.upper[i] + 0.005);
+  }
+  // Inside a ±0.05 box the error can't exceed the box diagonal.
+  EXPECT_LT(linalg::norm_inf(res.x - x_true), 0.06);
+}
+
+TEST(Pdhg, HybridBeatsNormalAtFewMeasurements) {
+  // The paper's central claim in miniature: with very few measurements,
+  // the box side-information rescues recovery while normal CS fails.
+  const std::size_t n = 128;
+  const std::size_t m = 10;  // Far below the s·log(n/s) requirement.
+  const Matrix a = gaussian_matrix(m, n, 11);
+  const Vector x_true = sparse_vector(n, 8, 12);
+  const Vector y = linalg::multiply(a, x_true);
+
+  PdhgOptions options;
+  options.max_iterations = 3000;
+  const PdhgResult normal =
+      solve_bpdn(LinearOperator::from_matrix(a), LinearOperator::identity(n),
+                 y, 1e-6, std::nullopt, options);
+
+  BoxConstraint box;
+  box.lower = Vector(n);
+  box.upper = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    box.lower[i] = x_true[i] - 0.2;
+    box.upper[i] = x_true[i] + 0.2;
+  }
+  const PdhgResult hybrid =
+      solve_bpdn(LinearOperator::from_matrix(a), LinearOperator::identity(n),
+                 y, 1e-6, box, options);
+
+  const double err_normal = linalg::norm2(normal.x - x_true);
+  const double err_hybrid = linalg::norm2(hybrid.x - x_true);
+  EXPECT_LT(err_hybrid, 0.5 * err_normal);
+}
+
+TEST(Pdhg, WorksWithNonIdentityDictionary) {
+  // Random orthonormal dictionary via QR of a Gaussian matrix: x = Qα with
+  // sparse α.
+  const std::size_t n = 32;
+  Matrix g = gaussian_matrix(n, n, 13, false);
+  // Gram-Schmidt (small n, fine numerically for a test).
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < j; ++k) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < n; ++i) proj += g(i, j) * g(i, k);
+      for (std::size_t i = 0; i < n; ++i) g(i, j) -= proj * g(i, k);
+    }
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) norm += g(i, j) * g(i, j);
+    norm = std::sqrt(norm);
+    for (std::size_t i = 0; i < n; ++i) g(i, j) /= norm;
+  }
+  const Vector alpha_true = sparse_vector(n, 3, 14);
+  const Vector x_true = linalg::multiply(g, alpha_true);
+  const Matrix a = gaussian_matrix(16, n, 15);
+  const Vector y = linalg::multiply(a, x_true);
+  PdhgOptions options;
+  options.max_iterations = 5000;
+  options.tol = 1e-9;
+  const PdhgResult res =
+      solve_bpdn(LinearOperator::from_matrix(a),
+                 LinearOperator::from_matrix(g), y, 1e-8, std::nullopt,
+                 options);
+  EXPECT_LT(linalg::norm2(res.x - x_true) / linalg::norm2(x_true), 5e-3);
+}
+
+TEST(Pdhg, PhiNormHintGivesSameAnswer) {
+  const std::size_t n = 64;
+  const Matrix a = gaussian_matrix(24, n, 16);
+  const Vector x_true = sparse_vector(n, 4, 17);
+  const Vector y = linalg::multiply(a, x_true);
+  PdhgOptions options;
+  options.max_iterations = 2000;
+  const PdhgResult base =
+      solve_bpdn(LinearOperator::from_matrix(a), LinearOperator::identity(n),
+                 y, 1e-6, std::nullopt, options);
+  PdhgOptions hinted = options;
+  hinted.phi_norm_hint =
+      linalg::operator_norm_estimate(LinearOperator::from_matrix(a), 60);
+  const PdhgResult with_hint =
+      solve_bpdn(LinearOperator::from_matrix(a), LinearOperator::identity(n),
+                 y, 1e-6, std::nullopt, hinted);
+  EXPECT_LT(linalg::norm2(base.x - with_hint.x), 1e-6);
+}
+
+TEST(Pdhg, ReportsViolationsOnTinyBudget) {
+  const std::size_t n = 32;
+  const Matrix a = gaussian_matrix(16, n, 18);
+  const Vector y = linalg::multiply(a, sparse_vector(n, 4, 19));
+  PdhgOptions options;
+  options.max_iterations = 3;  // Deliberately unconverged.
+  const PdhgResult res =
+      solve_bpdn(LinearOperator::from_matrix(a), LinearOperator::identity(n),
+                 y, 1e-9, std::nullopt, options);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 3);
+  EXPECT_GT(res.ball_violation, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// FISTA & ADMM.
+
+TEST(Fista, OptionsValidation) {
+  FistaOptions bad;
+  bad.max_iterations = 0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+TEST(Fista, RecoversSparseSignal) {
+  const std::size_t n = 128;
+  const Matrix a = gaussian_matrix(48, n, 20);
+  const Vector alpha_true = sparse_vector(n, 5, 21);
+  const Vector y = linalg::multiply(a, alpha_true);
+  FistaOptions options;
+  options.max_iterations = 2000;
+  const FistaResult res =
+      solve_lasso_fista(LinearOperator::from_matrix(a), y, 1e-4, options);
+  EXPECT_LT(linalg::norm2(res.coefficients - alpha_true) /
+                linalg::norm2(alpha_true),
+            0.02);
+}
+
+TEST(Fista, LambdaControlsSparsity) {
+  const std::size_t n = 128;
+  const Matrix a = gaussian_matrix(48, n, 22);
+  rng::Xoshiro256 gen(220);
+  Vector y = linalg::multiply(a, sparse_vector(n, 5, 23));
+  // Noise makes the small-λ solution overfit with a dense support.
+  for (auto& v : y) v += rng::normal(gen, 0.0, 0.05);
+  const auto op = LinearOperator::from_matrix(a);
+  FistaOptions options;
+  options.max_iterations = 1000;
+  const FistaResult loose = solve_lasso_fista(op, y, 1e-3, options);
+  const FistaResult tight = solve_lasso_fista(op, y, 0.5, options);
+  EXPECT_LT(linalg::count_above(tight.coefficients, 1e-8),
+            linalg::count_above(loose.coefficients, 1e-8));
+}
+
+TEST(Fista, RejectsBadLambdaAndDims) {
+  const Matrix a = gaussian_matrix(8, 16, 24);
+  const auto op = LinearOperator::from_matrix(a);
+  EXPECT_THROW(solve_lasso_fista(op, Vector(8), 0.0), std::invalid_argument);
+  EXPECT_THROW(solve_lasso_fista(op, Vector(7), 0.1), std::invalid_argument);
+}
+
+TEST(Admm, OptionsValidation) {
+  AdmmOptions bad;
+  bad.rho = 0.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+TEST(Admm, MatchesFistaOptimum) {
+  // Same LASSO, two solvers, one optimum.
+  const std::size_t n = 96;
+  const Matrix a = gaussian_matrix(32, n, 25);
+  const Vector y = linalg::multiply(a, sparse_vector(n, 4, 26));
+  const double lambda = 0.01;
+  FistaOptions fista_options;
+  fista_options.max_iterations = 4000;
+  fista_options.tol = 1e-12;
+  AdmmOptions admm_options;
+  admm_options.max_iterations = 4000;
+  admm_options.abs_tol = 1e-10;
+  admm_options.rel_tol = 1e-9;
+  const FistaResult f = solve_lasso_fista(LinearOperator::from_matrix(a), y,
+                                          lambda, fista_options);
+  const AdmmResult ad = solve_lasso_admm(a, y, lambda, admm_options);
+  EXPECT_NEAR(f.objective, ad.objective,
+              1e-4 * std::max(1.0, f.objective));
+}
+
+TEST(Admm, RejectsTallMatrix) {
+  const Matrix a = gaussian_matrix(16, 16, 27);
+  EXPECT_NO_THROW(solve_lasso_admm(a, Vector(16), 0.1));
+  const Matrix tall = gaussian_matrix(20, 16, 28);
+  (void)tall;
+  Matrix t2(20, 16);
+  EXPECT_THROW(solve_lasso_admm(t2, Vector(20), 0.1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Greedy pursuit.
+
+TEST(Greedy, OptionsValidation) {
+  GreedyOptions bad;
+  bad.max_sparsity = 0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+TEST(Omp, ExactRecoveryWellConditioned) {
+  const std::size_t n = 256;
+  const std::size_t m = 64;
+  const Matrix a = gaussian_matrix(m, n, 29);
+  const Vector x_true = sparse_vector(n, 8, 30);
+  const Vector y = linalg::multiply(a, x_true);
+  GreedyOptions options;
+  options.max_sparsity = 8;
+  const GreedyResult res = solve_omp(a, y, options);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(linalg::norm2(res.coefficients - x_true) /
+                linalg::norm2(x_true),
+            1e-8);
+}
+
+TEST(Omp, SupportSizeBounded) {
+  const Matrix a = gaussian_matrix(32, 128, 31);
+  const Vector y = linalg::multiply(a, sparse_vector(128, 20, 32));
+  GreedyOptions options;
+  options.max_sparsity = 5;
+  const GreedyResult res = solve_omp(a, y, options);
+  EXPECT_LE(res.support.size(), 5u);
+  EXPECT_FALSE(res.converged);  // 20-sparse can't be fit with 5 atoms.
+}
+
+TEST(Omp, ZeroMeasurementVector) {
+  const Matrix a = gaussian_matrix(16, 64, 33);
+  GreedyOptions options;
+  options.max_sparsity = 8;
+  const GreedyResult res = solve_omp(a, Vector(16), options);
+  EXPECT_TRUE(res.support.empty());
+  EXPECT_EQ(linalg::norm2(res.coefficients), 0.0);
+}
+
+TEST(Omp, Validation) {
+  const Matrix a = gaussian_matrix(16, 64, 34);
+  EXPECT_THROW(solve_omp(a, Vector(15)), std::invalid_argument);
+  GreedyOptions options;
+  options.max_sparsity = 17;  // > m.
+  EXPECT_THROW(solve_omp(a, Vector(16), options), std::invalid_argument);
+}
+
+TEST(CoSaMp, ExactRecoveryWellConditioned) {
+  const std::size_t n = 256;
+  const std::size_t m = 96;
+  const Matrix a = gaussian_matrix(m, n, 35);
+  const Vector x_true = sparse_vector(n, 8, 36);
+  const Vector y = linalg::multiply(a, x_true);
+  GreedyOptions options;
+  options.max_sparsity = 8;
+  const GreedyResult res = solve_cosamp(a, y, options);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(linalg::norm2(res.coefficients - x_true) /
+                linalg::norm2(x_true),
+            1e-6);
+}
+
+TEST(CoSaMp, NoisyMeasurementsBoundedResidual) {
+  const std::size_t n = 128;
+  const std::size_t m = 64;
+  const Matrix a = gaussian_matrix(m, n, 37);
+  const Vector x_true = sparse_vector(n, 6, 38);
+  rng::Xoshiro256 gen(39);
+  Vector y = linalg::multiply(a, x_true);
+  for (auto& v : y) v += rng::normal(gen, 0.0, 0.01);
+  GreedyOptions options;
+  options.max_sparsity = 6;
+  options.residual_tol = 0.0;  // Run to stagnation.
+  const GreedyResult res = solve_cosamp(a, y, options);
+  EXPECT_LT(res.residual_norm, 0.05 * linalg::norm2(y));
+}
+
+TEST(CoSaMp, SupportExactlyK) {
+  const Matrix a = gaussian_matrix(64, 128, 40);
+  const Vector y = linalg::multiply(a, sparse_vector(128, 8, 41));
+  GreedyOptions options;
+  options.max_sparsity = 8;
+  const GreedyResult res = solve_cosamp(a, y, options);
+  EXPECT_LE(res.support.size(), 8u);
+}
+
+}  // namespace
+}  // namespace csecg::recovery

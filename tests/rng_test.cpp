@@ -1,0 +1,170 @@
+// Unit tests for csecg::rng — determinism, distribution sanity, stream
+// independence.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "csecg/rng/distributions.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::rng {
+namespace {
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, ZeroSeedStateNotAllZero) {
+  Xoshiro256 g(0);
+  bool any_nonzero = false;
+  for (auto w : g.state()) any_nonzero |= (w != 0);
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Xoshiro, JumpChangesStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, SplitYieldsOriginalStreamThenAdvances) {
+  Xoshiro256 parent(99);
+  Xoshiro256 reference(99);
+  Xoshiro256 child = parent.split();
+  // The child continues the parent's pre-split stream...
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child.next(), reference.next());
+  // ...and the parent has jumped away from it.
+  Xoshiro256 child2 = parent.split();
+  EXPECT_NE(child2.next(), reference.next());
+}
+
+TEST(Xoshiro, SplitStreamsPairwiseDistinct) {
+  Xoshiro256 root(5);
+  std::set<std::uint64_t> firsts;
+  for (int i = 0; i < 8; ++i) firsts.insert(root.split().next());
+  EXPECT_EQ(firsts.size(), 8u);
+}
+
+TEST(SplitMix, KnownFirstOutputProperties) {
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  EXPECT_NE(first, 0u);
+  EXPECT_EQ(s, 0x9E3779B97F4A7C15ULL);
+}
+
+TEST(Distributions, Uniform01Range) {
+  Xoshiro256 g(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform01(g);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Distributions, Uniform01MeanVariance) {
+  Xoshiro256 g(42);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = uniform01(g);
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Distributions, UniformRangeRespected) {
+  Xoshiro256 g(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = uniform(g, -3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Distributions, NormalMomentsMatch) {
+  Xoshiro256 g(77);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = normal(g);
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 1e-2);
+  EXPECT_NEAR(sum2 / n, 1.0, 2e-2);
+}
+
+TEST(Distributions, NormalShiftScale) {
+  Xoshiro256 g(78);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += normal(g, 10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 5e-2);
+}
+
+TEST(Distributions, RademacherBalanced) {
+  Xoshiro256 g(11);
+  int pos = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const int r = rademacher(g);
+    ASSERT_TRUE(r == 1 || r == -1);
+    if (r == 1) ++pos;
+  }
+  EXPECT_NEAR(static_cast<double>(pos) / n, 0.5, 1e-2);
+}
+
+TEST(Distributions, BernoulliProbability) {
+  Xoshiro256 g(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (bernoulli(g, 0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 1e-2);
+}
+
+TEST(Distributions, UniformBelowBoundsAndCoverage) {
+  Xoshiro256 g(13);
+  std::array<int, 10> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = uniform_below(g, 10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 1e-2);
+}
+
+TEST(Distributions, UniformBelowOneAlwaysZero) {
+  Xoshiro256 g(14);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(uniform_below(g, 1), 0u);
+}
+
+}  // namespace
+}  // namespace csecg::rng

@@ -1,0 +1,173 @@
+// Tests for the SPGL1-style BPDN solver and the ℓ1-ball projection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "csecg/linalg/matrix.hpp"
+#include "csecg/recovery/pdhg.hpp"
+#include "csecg/recovery/spgl1.hpp"
+#include "csecg/rng/distributions.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::recovery {
+namespace {
+
+using linalg::LinearOperator;
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix gaussian_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng::normal(gen);
+  }
+  linalg::normalize_columns(a);
+  return a;
+}
+
+Vector sparse_vector(std::size_t n, std::size_t k, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Vector x(n);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t idx = 0;
+    do {
+      idx = static_cast<std::size_t>(rng::uniform_below(gen, n));
+    } while (x[idx] != 0.0);
+    x[idx] = static_cast<double>(rng::rademacher(gen)) *
+             rng::uniform(gen, 1.0, 3.0);
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// ℓ1-ball projection.
+
+TEST(L1Projection, InsideBallUntouched) {
+  const Vector v{0.3, -0.2, 0.1};
+  EXPECT_EQ(project_l1_ball(v, 1.0), v);
+}
+
+TEST(L1Projection, ResultOnBallSurface) {
+  rng::Xoshiro256 gen(1);
+  Vector v(50);
+  for (auto& x : v) x = rng::normal(gen);
+  const Vector p = project_l1_ball(v, 2.5);
+  EXPECT_NEAR(linalg::norm1(p), 2.5, 1e-9);
+}
+
+TEST(L1Projection, ZeroRadiusGivesZero) {
+  EXPECT_EQ(project_l1_ball(Vector{1.0, -2.0}, 0.0), Vector(2));
+  EXPECT_THROW(project_l1_ball(Vector{1.0}, -1.0), std::invalid_argument);
+}
+
+TEST(L1Projection, IsActuallyNearestPoint) {
+  // Verify the projection property against brute-force candidates.
+  rng::Xoshiro256 gen(2);
+  const Vector v{2.0, -1.0, 0.5};
+  const double radius = 1.5;
+  const Vector p = project_l1_ball(v, radius);
+  const double best = linalg::norm2(v - p);
+  for (int t = 0; t < 2000; ++t) {
+    Vector candidate(3);
+    for (auto& x : candidate) x = rng::uniform(gen, -2.5, 2.5);
+    if (linalg::norm1(candidate) > radius) continue;
+    EXPECT_GE(linalg::norm2(v - candidate), best - 1e-9);
+  }
+}
+
+TEST(L1Projection, SignsPreserved) {
+  const Vector v{5.0, -5.0};
+  const Vector p = project_l1_ball(v, 1.0);
+  EXPECT_GT(p[0], 0.0);
+  EXPECT_LT(p[1], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// SPGL1.
+
+TEST(Spgl1, OptionsValidation) {
+  Spgl1Options bad;
+  bad.max_root_iterations = 0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = Spgl1Options{};
+  bad.root_tol = 0.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+TEST(Spgl1, TrivialWhenSigmaExceedsData) {
+  const Matrix a = gaussian_matrix(8, 16, 3);
+  const Vector y(8, 0.1);
+  const auto result =
+      solve_bpdn_spgl1(LinearOperator::from_matrix(a), y, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(linalg::norm2(result.coefficients), 0.0);
+}
+
+TEST(Spgl1, RecoversSparseSignal) {
+  const std::size_t n = 128;
+  const Matrix a = gaussian_matrix(48, n, 4);
+  const Vector x_true = sparse_vector(n, 5, 5);
+  const Vector y = linalg::multiply(a, x_true);
+  Spgl1Options options;
+  options.max_root_iterations = 20;
+  options.max_inner_iterations = 600;
+  const auto result = solve_bpdn_spgl1(LinearOperator::from_matrix(a), y,
+                                       1e-3 * linalg::norm2(y), options);
+  EXPECT_LT(linalg::norm2(result.coefficients - x_true) /
+                linalg::norm2(x_true),
+            0.05);
+}
+
+TEST(Spgl1, ResidualLandsNearSigma) {
+  const std::size_t n = 96;
+  const Matrix a = gaussian_matrix(32, n, 6);
+  rng::Xoshiro256 gen(7);
+  Vector y = linalg::multiply(a, sparse_vector(n, 4, 8));
+  for (auto& v : y) v += rng::normal(gen, 0.0, 0.02);
+  const double sigma = 0.02 * std::sqrt(32.0) * 1.2;
+  const auto result =
+      solve_bpdn_spgl1(LinearOperator::from_matrix(a), y, sigma);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.residual_norm, sigma,
+              0.05 * std::max(linalg::norm2(y), 1.0));
+}
+
+TEST(Spgl1, AgreesWithPdhgOnSameProblem) {
+  // Two completely different algorithms, one convex optimum.
+  const std::size_t n = 96;
+  const Matrix a = gaussian_matrix(40, n, 9);
+  const Vector x_true = sparse_vector(n, 5, 10);
+  const Vector y = linalg::multiply(a, x_true);
+  const double sigma = 1e-4 * linalg::norm2(y);
+
+  Spgl1Options spgl1_options;
+  spgl1_options.max_root_iterations = 20;
+  spgl1_options.max_inner_iterations = 800;
+  const auto spgl1 = solve_bpdn_spgl1(LinearOperator::from_matrix(a), y,
+                                      sigma, spgl1_options);
+  PdhgOptions pdhg_options;
+  pdhg_options.max_iterations = 4000;
+  const auto pdhg =
+      solve_bpdn(LinearOperator::from_matrix(a), LinearOperator::identity(n),
+                 y, sigma, std::nullopt, pdhg_options);
+  EXPECT_NEAR(linalg::norm1(spgl1.coefficients), linalg::norm1(pdhg.x),
+              0.02 * linalg::norm1(pdhg.x));
+  EXPECT_LT(linalg::norm2(spgl1.coefficients - pdhg.x) /
+                linalg::norm2(pdhg.x),
+            0.05);
+}
+
+TEST(Spgl1, DimensionValidation) {
+  const Matrix a = gaussian_matrix(8, 16, 11);
+  EXPECT_THROW(
+      solve_bpdn_spgl1(LinearOperator::from_matrix(a), Vector(7), 0.1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      solve_bpdn_spgl1(LinearOperator::from_matrix(a), Vector(8), -0.1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csecg::recovery

@@ -1,0 +1,133 @@
+// Tests for the streaming (sample-at-a-time) front-end wrappers.
+#include <gtest/gtest.h>
+
+#include "csecg/core/streaming.hpp"
+#include "csecg/ecg/record.hpp"
+#include "csecg/metrics/quality.hpp"
+
+namespace csecg::core {
+namespace {
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecg::RecordConfig record_config;
+    record_config.duration_seconds = 15.0;
+    database_ = new ecg::SyntheticDatabase(record_config, 2015);
+    config_ = new FrontEndConfig();
+    config_->window = 256;
+    config_->measurements = 64;
+    config_->wavelet_levels = 4;
+    config_->solver.max_iterations = 400;
+    codec_ = new coding::DeltaHuffmanCodec(
+        train_lowres_codec(*config_, *database_, 2, 3));
+  }
+  static void TearDownTestSuite() {
+    delete codec_;
+    delete config_;
+    delete database_;
+  }
+
+  static const ecg::SyntheticDatabase& database() { return *database_; }
+  static const FrontEndConfig& config() { return *config_; }
+  static const coding::DeltaHuffmanCodec& lowres() { return *codec_; }
+
+ private:
+  static ecg::SyntheticDatabase* database_;
+  static FrontEndConfig* config_;
+  static coding::DeltaHuffmanCodec* codec_;
+};
+
+ecg::SyntheticDatabase* StreamingTest::database_ = nullptr;
+FrontEndConfig* StreamingTest::config_ = nullptr;
+coding::DeltaHuffmanCodec* StreamingTest::codec_ = nullptr;
+
+TEST_F(StreamingTest, EmitsFrameExactlyPerWindow) {
+  StreamingEncoder encoder(config(), lowres());
+  const auto& record = database().record(0);
+  std::size_t frames = 0;
+  for (std::size_t i = 0; i < 3 * 256 + 100; ++i) {
+    const auto frame =
+        encoder.push(static_cast<double>(record.samples[i]));
+    if (frame) ++frames;
+    EXPECT_EQ(frame.has_value(), (i + 1) % 256 == 0);
+  }
+  EXPECT_EQ(frames, 3u);
+  EXPECT_EQ(encoder.frames_emitted(), 3u);
+  EXPECT_EQ(encoder.pending(), 100u);
+}
+
+TEST_F(StreamingTest, MatchesBatchEncoder) {
+  StreamingEncoder streaming(config(), lowres());
+  const Encoder batch(config(), lowres());
+  const auto& record = database().record(1);
+  std::optional<Frame> streamed;
+  for (std::size_t i = 0; i < 256; ++i) {
+    streamed = streaming.push(static_cast<double>(record.samples[i]));
+  }
+  ASSERT_TRUE(streamed.has_value());
+  const Frame direct = batch.encode(record.window(0, 256));
+  EXPECT_EQ(streamed->measurements, direct.measurements);
+  EXPECT_EQ(streamed->lowres_payload, direct.lowres_payload);
+}
+
+TEST_F(StreamingTest, BitAccountingAccumulates) {
+  StreamingEncoder encoder(config(), lowres());
+  const auto& record = database().record(0);
+  std::size_t expected_bits = 0;
+  for (std::size_t i = 0; i < 2 * 256; ++i) {
+    const auto frame =
+        encoder.push(static_cast<double>(record.samples[i]));
+    if (frame) expected_bits += frame->total_bits();
+  }
+  EXPECT_EQ(encoder.bits_emitted(), expected_bits);
+}
+
+TEST_F(StreamingTest, ResetDiscardsPartialWindow) {
+  StreamingEncoder encoder(config(), lowres());
+  for (int i = 0; i < 100; ++i) encoder.push(1024.0);
+  EXPECT_EQ(encoder.pending(), 100u);
+  encoder.reset();
+  EXPECT_EQ(encoder.pending(), 0u);
+  // The next full window emits normally.
+  std::size_t frames = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (encoder.push(1024.0)) ++frames;
+  }
+  EXPECT_EQ(frames, 1u);
+}
+
+TEST_F(StreamingTest, EndToEndStreamReconstruction) {
+  StreamingEncoder encoder(config(), lowres());
+  StreamingDecoder decoder(config(), lowres(), DecodeMode::kHybrid);
+  const auto& record = database().record(0);
+  const std::size_t total = 3 * 256;
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto frame =
+        encoder.push(static_cast<double>(record.samples[i]));
+    if (frame) decoder.push(*frame);
+  }
+  EXPECT_EQ(decoder.frames_decoded(), 3u);
+  ASSERT_EQ(decoder.signal().size(), total);
+  const linalg::Vector original = record.window(0, total);
+  const double snr = metrics::snr_from_prd(
+      metrics::prd_zero_mean(original, decoder.signal()));
+  EXPECT_GT(snr, 10.0);
+}
+
+TEST_F(StreamingTest, DecoderReturnsLastWindow) {
+  StreamingEncoder encoder(config(), lowres());
+  StreamingDecoder decoder(config(), lowres());
+  const auto& record = database().record(0);
+  std::optional<Frame> frame;
+  for (std::size_t i = 0; i < 256; ++i) {
+    frame = encoder.push(static_cast<double>(record.samples[i]));
+  }
+  const linalg::Vector& window = decoder.push(*frame);
+  EXPECT_EQ(window.size(), 256u);
+  EXPECT_EQ(decoder.signal().size(), 256u);
+  EXPECT_EQ(window, decoder.signal());
+}
+
+}  // namespace
+}  // namespace csecg::core

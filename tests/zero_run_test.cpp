@@ -1,0 +1,169 @@
+// Unit tests for the zero-run delta-Huffman codec and Elias-gamma coding.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "csecg/coding/delta_huffman_codec.hpp"
+#include "csecg/coding/zero_run_codec.hpp"
+#include "csecg/rng/distributions.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::coding {
+namespace {
+
+TEST(EliasGamma, KnownCodes) {
+  // 1 -> "1", 2 -> "010", 3 -> "011", 4 -> "00100".
+  BitWriter writer;
+  elias_gamma_encode(1, writer);
+  elias_gamma_encode(2, writer);
+  elias_gamma_encode(3, writer);
+  elias_gamma_encode(4, writer);
+  EXPECT_EQ(writer.bit_count(), 1u + 3u + 3u + 5u);
+  BitReader reader(writer.finish());
+  EXPECT_EQ(elias_gamma_decode(reader), 1u);
+  EXPECT_EQ(elias_gamma_decode(reader), 2u);
+  EXPECT_EQ(elias_gamma_decode(reader), 3u);
+  EXPECT_EQ(elias_gamma_decode(reader), 4u);
+}
+
+TEST(EliasGamma, BitsFormula) {
+  EXPECT_EQ(elias_gamma_bits(1), 1);
+  EXPECT_EQ(elias_gamma_bits(2), 3);
+  EXPECT_EQ(elias_gamma_bits(3), 3);
+  EXPECT_EQ(elias_gamma_bits(4), 5);
+  EXPECT_EQ(elias_gamma_bits(255), 15);
+  EXPECT_EQ(elias_gamma_bits(256), 17);
+}
+
+TEST(EliasGamma, RoundTripRange) {
+  BitWriter writer;
+  for (std::uint64_t v = 1; v <= 600; ++v) elias_gamma_encode(v, writer);
+  BitReader reader(writer.finish());
+  for (std::uint64_t v = 1; v <= 600; ++v) {
+    ASSERT_EQ(elias_gamma_decode(reader), v);
+  }
+}
+
+TEST(EliasGamma, RejectsZero) {
+  BitWriter writer;
+  EXPECT_THROW(elias_gamma_encode(0, writer), std::invalid_argument);
+}
+
+std::vector<std::vector<std::int64_t>> staircase_corpus(
+    int code_bits, std::uint64_t seed, double change_probability = 0.05) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<std::vector<std::int64_t>> corpus;
+  const std::int64_t max_code = (std::int64_t{1} << code_bits) - 1;
+  for (int w = 0; w < 16; ++w) {
+    std::vector<std::int64_t> window;
+    std::int64_t level = max_code / 2;
+    for (int i = 0; i < 256; ++i) {
+      const double u = rng::uniform01(gen);
+      if (u < change_probability) level += 1;
+      if (u > 1.0 - change_probability) level -= 1;
+      level = std::clamp<std::int64_t>(level, 0, max_code);
+      window.push_back(level);
+    }
+    corpus.push_back(std::move(window));
+  }
+  return corpus;
+}
+
+TEST(ZeroRun, TrainValidation) {
+  EXPECT_THROW(ZeroRunDeltaCodec::train({}, 5), std::invalid_argument);
+  EXPECT_THROW(ZeroRunDeltaCodec::train({{1}}, 0), std::invalid_argument);
+  EXPECT_THROW(ZeroRunDeltaCodec::train({{64}}, 5), std::invalid_argument);
+}
+
+TEST(ZeroRun, ReservedSymbolsDistinct) {
+  const auto codec = ZeroRunDeltaCodec::train(staircase_corpus(5, 1), 5);
+  EXPECT_EQ(codec.escape_symbol(), 32);
+  EXPECT_EQ(codec.run_symbol(), 33);
+  EXPECT_TRUE(codec.codebook().contains(32));
+  EXPECT_TRUE(codec.codebook().contains(33));
+}
+
+TEST(ZeroRun, RoundTripOnCorpus) {
+  const auto corpus = staircase_corpus(5, 2);
+  const auto codec = ZeroRunDeltaCodec::train(corpus, 5);
+  for (const auto& window : corpus) {
+    std::size_t bits = 0;
+    const auto payload = codec.encode(window, bits);
+    EXPECT_EQ(codec.decode(payload, window.size()), window);
+    EXPECT_EQ(bits, codec.encoded_bits(window));
+  }
+}
+
+TEST(ZeroRun, BeatsScalarHuffmanOnSmoothData) {
+  // Very smooth staircase (mean zero-run length ~50): run coding collapses
+  // whole runs into ~1+gamma bits.
+  const auto corpus = staircase_corpus(4, 3, 0.01);
+  const auto zero_run = ZeroRunDeltaCodec::train(corpus, 4);
+  const auto scalar = DeltaHuffmanCodec::train(corpus, 4);
+  std::size_t zr_total = 0;
+  std::size_t scalar_total = 0;
+  for (const auto& window : corpus) {
+    zr_total += zero_run.encoded_bits(window);
+    scalar_total += scalar.encoded_bits(window);
+  }
+  EXPECT_LT(zr_total, scalar_total / 2);  // Long zero runs collapse.
+}
+
+TEST(ZeroRun, BreaksOneBitPerSampleFloor) {
+  const auto corpus = staircase_corpus(3, 4, 0.01);
+  const auto codec = ZeroRunDeltaCodec::train(corpus, 3);
+  const auto& window = corpus.front();
+  const double bits_per_sample =
+      static_cast<double>(codec.encoded_bits(window)) /
+      static_cast<double>(window.size());
+  EXPECT_LT(bits_per_sample, 0.5);
+}
+
+TEST(ZeroRun, ConstantWindowIsOneRun) {
+  const auto codec = ZeroRunDeltaCodec::train(staircase_corpus(5, 5), 5);
+  const std::vector<std::int64_t> window(500, 17);
+  std::size_t bits = 0;
+  const auto payload = codec.encode(window, bits);
+  // First code (5) + RUN code + gamma(499) ≈ well under 40 bits.
+  EXPECT_LT(bits, 40u);
+  EXPECT_EQ(codec.decode(payload, window.size()), window);
+}
+
+TEST(ZeroRun, EscapeStillWorks) {
+  const auto codec = ZeroRunDeltaCodec::train(staircase_corpus(5, 6), 5);
+  std::vector<std::int64_t> window(64, 16);
+  window[30] = 0;
+  window[31] = 31;  // Wild swings never seen in training.
+  std::size_t bits = 0;
+  const auto payload = codec.encode(window, bits);
+  EXPECT_EQ(codec.decode(payload, window.size()), window);
+}
+
+TEST(ZeroRun, AlternatingNoZerosStillRoundTrips) {
+  const auto codec = ZeroRunDeltaCodec::train(staircase_corpus(4, 7), 4);
+  std::vector<std::int64_t> window;
+  for (int i = 0; i < 128; ++i) window.push_back(i % 2 == 0 ? 7 : 8);
+  std::size_t bits = 0;
+  const auto payload = codec.encode(window, bits);
+  EXPECT_EQ(codec.decode(payload, window.size()), window);
+}
+
+TEST(ZeroRun, RejectsCodebookWithoutRunSymbol) {
+  // A scalar codec's codebook lacks the run marker.
+  const auto scalar = DeltaHuffmanCodec::train(staircase_corpus(5, 8), 5);
+  EXPECT_THROW(ZeroRunDeltaCodec(scalar.codebook(), 5),
+               std::invalid_argument);
+}
+
+TEST(ZeroRun, DecodeRunOverflowRejected) {
+  const auto codec = ZeroRunDeltaCodec::train(staircase_corpus(5, 9), 5);
+  const std::vector<std::int64_t> window(100, 12);
+  std::size_t bits = 0;
+  const auto payload = codec.encode(window, bits);
+  // Asking for fewer symbols than the encoded run carries must throw, not
+  // silently truncate.
+  EXPECT_THROW(codec.decode(payload, 50), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csecg::coding
