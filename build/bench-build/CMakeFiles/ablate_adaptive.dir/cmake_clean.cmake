@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_adaptive"
+  "../bench/ablate_adaptive.pdb"
+  "CMakeFiles/ablate_adaptive.dir/ablate_adaptive.cpp.o"
+  "CMakeFiles/ablate_adaptive.dir/ablate_adaptive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

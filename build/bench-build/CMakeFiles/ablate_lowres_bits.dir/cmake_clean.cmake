@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_lowres_bits"
+  "../bench/ablate_lowres_bits.pdb"
+  "CMakeFiles/ablate_lowres_bits.dir/ablate_lowres_bits.cpp.o"
+  "CMakeFiles/ablate_lowres_bits.dir/ablate_lowres_bits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_lowres_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

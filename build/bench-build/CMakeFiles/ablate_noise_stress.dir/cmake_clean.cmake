@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_noise_stress"
+  "../bench/ablate_noise_stress.pdb"
+  "CMakeFiles/ablate_noise_stress.dir/ablate_noise_stress.cpp.o"
+  "CMakeFiles/ablate_noise_stress.dir/ablate_noise_stress.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_noise_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

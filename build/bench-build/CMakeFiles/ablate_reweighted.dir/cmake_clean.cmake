@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_reweighted"
+  "../bench/ablate_reweighted.pdb"
+  "CMakeFiles/ablate_reweighted.dir/ablate_reweighted.cpp.o"
+  "CMakeFiles/ablate_reweighted.dir/ablate_reweighted.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reweighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

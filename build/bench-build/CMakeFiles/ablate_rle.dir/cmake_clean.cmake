@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_rle"
+  "../bench/ablate_rle.pdb"
+  "CMakeFiles/ablate_rle.dir/ablate_rle.cpp.o"
+  "CMakeFiles/ablate_rle.dir/ablate_rle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

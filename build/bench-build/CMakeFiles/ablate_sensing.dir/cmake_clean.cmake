@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_sensing"
+  "../bench/ablate_sensing.pdb"
+  "CMakeFiles/ablate_sensing.dir/ablate_sensing.cpp.o"
+  "CMakeFiles/ablate_sensing.dir/ablate_sensing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

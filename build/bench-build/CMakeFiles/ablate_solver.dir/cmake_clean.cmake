@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_solver"
+  "../bench/ablate_solver.pdb"
+  "CMakeFiles/ablate_solver.dir/ablate_solver.cpp.o"
+  "CMakeFiles/ablate_solver.dir/ablate_solver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_structured"
+  "../bench/ablate_structured.pdb"
+  "CMakeFiles/ablate_structured.dir/ablate_structured.cpp.o"
+  "CMakeFiles/ablate_structured.dir/ablate_structured.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_structured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

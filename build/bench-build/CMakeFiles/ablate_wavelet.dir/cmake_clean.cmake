@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_wavelet"
+  "../bench/ablate_wavelet.pdb"
+  "CMakeFiles/ablate_wavelet.dir/ablate_wavelet.cpp.o"
+  "CMakeFiles/ablate_wavelet.dir/ablate_wavelet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

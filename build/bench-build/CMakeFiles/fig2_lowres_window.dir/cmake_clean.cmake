@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_lowres_window"
+  "../bench/fig2_lowres_window.pdb"
+  "CMakeFiles/fig2_lowres_window.dir/fig2_lowres_window.cpp.o"
+  "CMakeFiles/fig2_lowres_window.dir/fig2_lowres_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_lowres_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_delta_pdf"
+  "../bench/fig4_delta_pdf.pdb"
+  "CMakeFiles/fig4_delta_pdf.dir/fig4_delta_pdf.cpp.o"
+  "CMakeFiles/fig4_delta_pdf.dir/fig4_delta_pdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_delta_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_codebook_storage"
+  "../bench/fig5_codebook_storage.pdb"
+  "CMakeFiles/fig5_codebook_storage.dir/fig5_codebook_storage.cpp.o"
+  "CMakeFiles/fig5_codebook_storage.dir/fig5_codebook_storage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_codebook_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

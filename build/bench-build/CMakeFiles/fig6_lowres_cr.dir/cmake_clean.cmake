@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_lowres_cr"
+  "../bench/fig6_lowres_cr.pdb"
+  "CMakeFiles/fig6_lowres_cr.dir/fig6_lowres_cr.cpp.o"
+  "CMakeFiles/fig6_lowres_cr.dir/fig6_lowres_cr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lowres_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_snr_prd_vs_cr"
+  "../bench/fig7_snr_prd_vs_cr.pdb"
+  "CMakeFiles/fig7_snr_prd_vs_cr.dir/fig7_snr_prd_vs_cr.cpp.o"
+  "CMakeFiles/fig7_snr_prd_vs_cr.dir/fig7_snr_prd_vs_cr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_snr_prd_vs_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

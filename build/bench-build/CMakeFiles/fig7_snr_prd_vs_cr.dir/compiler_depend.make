@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_snr_prd_vs_cr.
+# This may be replaced when dependencies are built.

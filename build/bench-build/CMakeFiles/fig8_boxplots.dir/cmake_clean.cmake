@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_boxplots"
+  "../bench/fig8_boxplots.pdb"
+  "CMakeFiles/fig8_boxplots.dir/fig8_boxplots.cpp.o"
+  "CMakeFiles/fig8_boxplots.dir/fig8_boxplots.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_boxplots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_examples"
+  "../bench/fig9_examples.pdb"
+  "CMakeFiles/fig9_examples.dir/fig9_examples.cpp.o"
+  "CMakeFiles/fig9_examples.dir/fig9_examples.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

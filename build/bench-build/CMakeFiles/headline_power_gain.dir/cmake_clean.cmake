@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/headline_power_gain"
+  "../bench/headline_power_gain.pdb"
+  "CMakeFiles/headline_power_gain.dir/headline_power_gain.cpp.o"
+  "CMakeFiles/headline_power_gain.dir/headline_power_gain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_power_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

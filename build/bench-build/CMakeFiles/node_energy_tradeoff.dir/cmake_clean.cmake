@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/node_energy_tradeoff"
+  "../bench/node_energy_tradeoff.pdb"
+  "CMakeFiles/node_energy_tradeoff.dir/node_energy_tradeoff.cpp.o"
+  "CMakeFiles/node_energy_tradeoff.dir/node_energy_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_energy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

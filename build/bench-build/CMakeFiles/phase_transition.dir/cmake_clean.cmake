@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/phase_transition"
+  "../bench/phase_transition.pdb"
+  "CMakeFiles/phase_transition.dir/phase_transition.cpp.o"
+  "CMakeFiles/phase_transition.dir/phase_transition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for phase_transition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codebook_provisioning.dir/codebook_provisioning.cpp.o"
+  "CMakeFiles/codebook_provisioning.dir/codebook_provisioning.cpp.o.d"
+  "codebook_provisioning"
+  "codebook_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codebook_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

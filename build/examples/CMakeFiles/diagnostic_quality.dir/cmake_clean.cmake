@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnostic_quality.dir/diagnostic_quality.cpp.o"
+  "CMakeFiles/diagnostic_quality.dir/diagnostic_quality.cpp.o.d"
+  "diagnostic_quality"
+  "diagnostic_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnostic_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_a2i.dir/hf_a2i.cpp.o"
+  "CMakeFiles/hf_a2i.dir/hf_a2i.cpp.o.d"
+  "hf_a2i"
+  "hf_a2i.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_a2i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hf_a2i.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holter_compression.dir/holter_compression.cpp.o"
+  "CMakeFiles/holter_compression.dir/holter_compression.cpp.o.d"
+  "holter_compression"
+  "holter_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holter_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,109 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "csecg::csecg_rng" for configuration "Release"
+set_property(TARGET csecg::csecg_rng APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(csecg::csecg_rng PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libcsecg_rng.a"
+  )
+
+list(APPEND _cmake_import_check_targets csecg::csecg_rng )
+list(APPEND _cmake_import_check_files_for_csecg::csecg_rng "${_IMPORT_PREFIX}/lib/libcsecg_rng.a" )
+
+# Import target "csecg::csecg_linalg" for configuration "Release"
+set_property(TARGET csecg::csecg_linalg APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(csecg::csecg_linalg PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libcsecg_linalg.a"
+  )
+
+list(APPEND _cmake_import_check_targets csecg::csecg_linalg )
+list(APPEND _cmake_import_check_files_for_csecg::csecg_linalg "${_IMPORT_PREFIX}/lib/libcsecg_linalg.a" )
+
+# Import target "csecg::csecg_dsp" for configuration "Release"
+set_property(TARGET csecg::csecg_dsp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(csecg::csecg_dsp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libcsecg_dsp.a"
+  )
+
+list(APPEND _cmake_import_check_targets csecg::csecg_dsp )
+list(APPEND _cmake_import_check_files_for_csecg::csecg_dsp "${_IMPORT_PREFIX}/lib/libcsecg_dsp.a" )
+
+# Import target "csecg::csecg_metrics" for configuration "Release"
+set_property(TARGET csecg::csecg_metrics APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(csecg::csecg_metrics PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libcsecg_metrics.a"
+  )
+
+list(APPEND _cmake_import_check_targets csecg::csecg_metrics )
+list(APPEND _cmake_import_check_files_for_csecg::csecg_metrics "${_IMPORT_PREFIX}/lib/libcsecg_metrics.a" )
+
+# Import target "csecg::csecg_ecg" for configuration "Release"
+set_property(TARGET csecg::csecg_ecg APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(csecg::csecg_ecg PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libcsecg_ecg.a"
+  )
+
+list(APPEND _cmake_import_check_targets csecg::csecg_ecg )
+list(APPEND _cmake_import_check_files_for_csecg::csecg_ecg "${_IMPORT_PREFIX}/lib/libcsecg_ecg.a" )
+
+# Import target "csecg::csecg_sensing" for configuration "Release"
+set_property(TARGET csecg::csecg_sensing APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(csecg::csecg_sensing PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libcsecg_sensing.a"
+  )
+
+list(APPEND _cmake_import_check_targets csecg::csecg_sensing )
+list(APPEND _cmake_import_check_files_for_csecg::csecg_sensing "${_IMPORT_PREFIX}/lib/libcsecg_sensing.a" )
+
+# Import target "csecg::csecg_recovery" for configuration "Release"
+set_property(TARGET csecg::csecg_recovery APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(csecg::csecg_recovery PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libcsecg_recovery.a"
+  )
+
+list(APPEND _cmake_import_check_targets csecg::csecg_recovery )
+list(APPEND _cmake_import_check_files_for_csecg::csecg_recovery "${_IMPORT_PREFIX}/lib/libcsecg_recovery.a" )
+
+# Import target "csecg::csecg_coding" for configuration "Release"
+set_property(TARGET csecg::csecg_coding APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(csecg::csecg_coding PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libcsecg_coding.a"
+  )
+
+list(APPEND _cmake_import_check_targets csecg::csecg_coding )
+list(APPEND _cmake_import_check_files_for_csecg::csecg_coding "${_IMPORT_PREFIX}/lib/libcsecg_coding.a" )
+
+# Import target "csecg::csecg_power" for configuration "Release"
+set_property(TARGET csecg::csecg_power APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(csecg::csecg_power PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libcsecg_power.a"
+  )
+
+list(APPEND _cmake_import_check_targets csecg::csecg_power )
+list(APPEND _cmake_import_check_files_for_csecg::csecg_power "${_IMPORT_PREFIX}/lib/libcsecg_power.a" )
+
+# Import target "csecg::csecg_core" for configuration "Release"
+set_property(TARGET csecg::csecg_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(csecg::csecg_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libcsecg_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets csecg::csecg_core )
+list(APPEND _cmake_import_check_files_for_csecg::csecg_core "${_IMPORT_PREFIX}/lib/libcsecg_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

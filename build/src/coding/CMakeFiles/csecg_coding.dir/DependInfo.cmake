@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/src/bitstream.cpp" "src/coding/CMakeFiles/csecg_coding.dir/src/bitstream.cpp.o" "gcc" "src/coding/CMakeFiles/csecg_coding.dir/src/bitstream.cpp.o.d"
+  "/root/repo/src/coding/src/delta.cpp" "src/coding/CMakeFiles/csecg_coding.dir/src/delta.cpp.o" "gcc" "src/coding/CMakeFiles/csecg_coding.dir/src/delta.cpp.o.d"
+  "/root/repo/src/coding/src/delta_huffman_codec.cpp" "src/coding/CMakeFiles/csecg_coding.dir/src/delta_huffman_codec.cpp.o" "gcc" "src/coding/CMakeFiles/csecg_coding.dir/src/delta_huffman_codec.cpp.o.d"
+  "/root/repo/src/coding/src/huffman.cpp" "src/coding/CMakeFiles/csecg_coding.dir/src/huffman.cpp.o" "gcc" "src/coding/CMakeFiles/csecg_coding.dir/src/huffman.cpp.o.d"
+  "/root/repo/src/coding/src/zero_run_codec.cpp" "src/coding/CMakeFiles/csecg_coding.dir/src/zero_run_codec.cpp.o" "gcc" "src/coding/CMakeFiles/csecg_coding.dir/src/zero_run_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_coding.dir/src/bitstream.cpp.o"
+  "CMakeFiles/csecg_coding.dir/src/bitstream.cpp.o.d"
+  "CMakeFiles/csecg_coding.dir/src/delta.cpp.o"
+  "CMakeFiles/csecg_coding.dir/src/delta.cpp.o.d"
+  "CMakeFiles/csecg_coding.dir/src/delta_huffman_codec.cpp.o"
+  "CMakeFiles/csecg_coding.dir/src/delta_huffman_codec.cpp.o.d"
+  "CMakeFiles/csecg_coding.dir/src/huffman.cpp.o"
+  "CMakeFiles/csecg_coding.dir/src/huffman.cpp.o.d"
+  "CMakeFiles/csecg_coding.dir/src/zero_run_codec.cpp.o"
+  "CMakeFiles/csecg_coding.dir/src/zero_run_codec.cpp.o.d"
+  "libcsecg_coding.a"
+  "libcsecg_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for csecg_coding.
+# This may be replaced when dependencies are built.

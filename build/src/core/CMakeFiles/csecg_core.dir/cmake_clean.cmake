@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_core.dir/src/adaptive.cpp.o"
+  "CMakeFiles/csecg_core.dir/src/adaptive.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/src/config.cpp.o"
+  "CMakeFiles/csecg_core.dir/src/config.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/src/frame.cpp.o"
+  "CMakeFiles/csecg_core.dir/src/frame.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/src/frontend.cpp.o"
+  "CMakeFiles/csecg_core.dir/src/frontend.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/src/runner.cpp.o"
+  "CMakeFiles/csecg_core.dir/src/runner.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/src/streaming.cpp.o"
+  "CMakeFiles/csecg_core.dir/src/streaming.cpp.o.d"
+  "libcsecg_core.a"
+  "libcsecg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

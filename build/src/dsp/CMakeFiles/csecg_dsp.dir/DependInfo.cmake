@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/src/dct.cpp" "src/dsp/CMakeFiles/csecg_dsp.dir/src/dct.cpp.o" "gcc" "src/dsp/CMakeFiles/csecg_dsp.dir/src/dct.cpp.o.d"
+  "/root/repo/src/dsp/src/dwt.cpp" "src/dsp/CMakeFiles/csecg_dsp.dir/src/dwt.cpp.o" "gcc" "src/dsp/CMakeFiles/csecg_dsp.dir/src/dwt.cpp.o.d"
+  "/root/repo/src/dsp/src/fft.cpp" "src/dsp/CMakeFiles/csecg_dsp.dir/src/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/csecg_dsp.dir/src/fft.cpp.o.d"
+  "/root/repo/src/dsp/src/fir.cpp" "src/dsp/CMakeFiles/csecg_dsp.dir/src/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/csecg_dsp.dir/src/fir.cpp.o.d"
+  "/root/repo/src/dsp/src/wavelet.cpp" "src/dsp/CMakeFiles/csecg_dsp.dir/src/wavelet.cpp.o" "gcc" "src/dsp/CMakeFiles/csecg_dsp.dir/src/wavelet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_dsp.dir/src/dct.cpp.o"
+  "CMakeFiles/csecg_dsp.dir/src/dct.cpp.o.d"
+  "CMakeFiles/csecg_dsp.dir/src/dwt.cpp.o"
+  "CMakeFiles/csecg_dsp.dir/src/dwt.cpp.o.d"
+  "CMakeFiles/csecg_dsp.dir/src/fft.cpp.o"
+  "CMakeFiles/csecg_dsp.dir/src/fft.cpp.o.d"
+  "CMakeFiles/csecg_dsp.dir/src/fir.cpp.o"
+  "CMakeFiles/csecg_dsp.dir/src/fir.cpp.o.d"
+  "CMakeFiles/csecg_dsp.dir/src/wavelet.cpp.o"
+  "CMakeFiles/csecg_dsp.dir/src/wavelet.cpp.o.d"
+  "libcsecg_dsp.a"
+  "libcsecg_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

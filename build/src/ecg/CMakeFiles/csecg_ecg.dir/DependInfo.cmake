@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecg/src/beats.cpp" "src/ecg/CMakeFiles/csecg_ecg.dir/src/beats.cpp.o" "gcc" "src/ecg/CMakeFiles/csecg_ecg.dir/src/beats.cpp.o.d"
+  "/root/repo/src/ecg/src/ecgsyn.cpp" "src/ecg/CMakeFiles/csecg_ecg.dir/src/ecgsyn.cpp.o" "gcc" "src/ecg/CMakeFiles/csecg_ecg.dir/src/ecgsyn.cpp.o.d"
+  "/root/repo/src/ecg/src/io.cpp" "src/ecg/CMakeFiles/csecg_ecg.dir/src/io.cpp.o" "gcc" "src/ecg/CMakeFiles/csecg_ecg.dir/src/io.cpp.o.d"
+  "/root/repo/src/ecg/src/noise.cpp" "src/ecg/CMakeFiles/csecg_ecg.dir/src/noise.cpp.o" "gcc" "src/ecg/CMakeFiles/csecg_ecg.dir/src/noise.cpp.o.d"
+  "/root/repo/src/ecg/src/qrs.cpp" "src/ecg/CMakeFiles/csecg_ecg.dir/src/qrs.cpp.o" "gcc" "src/ecg/CMakeFiles/csecg_ecg.dir/src/qrs.cpp.o.d"
+  "/root/repo/src/ecg/src/record.cpp" "src/ecg/CMakeFiles/csecg_ecg.dir/src/record.cpp.o" "gcc" "src/ecg/CMakeFiles/csecg_ecg.dir/src/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/csecg_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/csecg_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_ecg.dir/src/beats.cpp.o"
+  "CMakeFiles/csecg_ecg.dir/src/beats.cpp.o.d"
+  "CMakeFiles/csecg_ecg.dir/src/ecgsyn.cpp.o"
+  "CMakeFiles/csecg_ecg.dir/src/ecgsyn.cpp.o.d"
+  "CMakeFiles/csecg_ecg.dir/src/io.cpp.o"
+  "CMakeFiles/csecg_ecg.dir/src/io.cpp.o.d"
+  "CMakeFiles/csecg_ecg.dir/src/noise.cpp.o"
+  "CMakeFiles/csecg_ecg.dir/src/noise.cpp.o.d"
+  "CMakeFiles/csecg_ecg.dir/src/qrs.cpp.o"
+  "CMakeFiles/csecg_ecg.dir/src/qrs.cpp.o.d"
+  "CMakeFiles/csecg_ecg.dir/src/record.cpp.o"
+  "CMakeFiles/csecg_ecg.dir/src/record.cpp.o.d"
+  "libcsecg_ecg.a"
+  "libcsecg_ecg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_ecg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/src/matrix.cpp" "src/linalg/CMakeFiles/csecg_linalg.dir/src/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/csecg_linalg.dir/src/matrix.cpp.o.d"
+  "/root/repo/src/linalg/src/operator.cpp" "src/linalg/CMakeFiles/csecg_linalg.dir/src/operator.cpp.o" "gcc" "src/linalg/CMakeFiles/csecg_linalg.dir/src/operator.cpp.o.d"
+  "/root/repo/src/linalg/src/solve.cpp" "src/linalg/CMakeFiles/csecg_linalg.dir/src/solve.cpp.o" "gcc" "src/linalg/CMakeFiles/csecg_linalg.dir/src/solve.cpp.o.d"
+  "/root/repo/src/linalg/src/vector.cpp" "src/linalg/CMakeFiles/csecg_linalg.dir/src/vector.cpp.o" "gcc" "src/linalg/CMakeFiles/csecg_linalg.dir/src/vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

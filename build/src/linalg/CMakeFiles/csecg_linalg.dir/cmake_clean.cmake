@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_linalg.dir/src/matrix.cpp.o"
+  "CMakeFiles/csecg_linalg.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/csecg_linalg.dir/src/operator.cpp.o"
+  "CMakeFiles/csecg_linalg.dir/src/operator.cpp.o.d"
+  "CMakeFiles/csecg_linalg.dir/src/solve.cpp.o"
+  "CMakeFiles/csecg_linalg.dir/src/solve.cpp.o.d"
+  "CMakeFiles/csecg_linalg.dir/src/vector.cpp.o"
+  "CMakeFiles/csecg_linalg.dir/src/vector.cpp.o.d"
+  "libcsecg_linalg.a"
+  "libcsecg_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

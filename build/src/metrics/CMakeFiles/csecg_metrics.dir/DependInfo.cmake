@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/src/quality.cpp" "src/metrics/CMakeFiles/csecg_metrics.dir/src/quality.cpp.o" "gcc" "src/metrics/CMakeFiles/csecg_metrics.dir/src/quality.cpp.o.d"
+  "/root/repo/src/metrics/src/stats.cpp" "src/metrics/CMakeFiles/csecg_metrics.dir/src/stats.cpp.o" "gcc" "src/metrics/CMakeFiles/csecg_metrics.dir/src/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

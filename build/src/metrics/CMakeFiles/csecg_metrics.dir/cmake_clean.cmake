@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_metrics.dir/src/quality.cpp.o"
+  "CMakeFiles/csecg_metrics.dir/src/quality.cpp.o.d"
+  "CMakeFiles/csecg_metrics.dir/src/stats.cpp.o"
+  "CMakeFiles/csecg_metrics.dir/src/stats.cpp.o.d"
+  "libcsecg_metrics.a"
+  "libcsecg_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

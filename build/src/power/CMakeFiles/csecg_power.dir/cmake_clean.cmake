@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_power.dir/src/models.cpp.o"
+  "CMakeFiles/csecg_power.dir/src/models.cpp.o.d"
+  "CMakeFiles/csecg_power.dir/src/node_energy.cpp.o"
+  "CMakeFiles/csecg_power.dir/src/node_energy.cpp.o.d"
+  "libcsecg_power.a"
+  "libcsecg_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

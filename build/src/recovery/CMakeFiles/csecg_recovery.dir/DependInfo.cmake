@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recovery/src/admm.cpp" "src/recovery/CMakeFiles/csecg_recovery.dir/src/admm.cpp.o" "gcc" "src/recovery/CMakeFiles/csecg_recovery.dir/src/admm.cpp.o.d"
+  "/root/repo/src/recovery/src/fista.cpp" "src/recovery/CMakeFiles/csecg_recovery.dir/src/fista.cpp.o" "gcc" "src/recovery/CMakeFiles/csecg_recovery.dir/src/fista.cpp.o.d"
+  "/root/repo/src/recovery/src/greedy.cpp" "src/recovery/CMakeFiles/csecg_recovery.dir/src/greedy.cpp.o" "gcc" "src/recovery/CMakeFiles/csecg_recovery.dir/src/greedy.cpp.o.d"
+  "/root/repo/src/recovery/src/model_based.cpp" "src/recovery/CMakeFiles/csecg_recovery.dir/src/model_based.cpp.o" "gcc" "src/recovery/CMakeFiles/csecg_recovery.dir/src/model_based.cpp.o.d"
+  "/root/repo/src/recovery/src/pdhg.cpp" "src/recovery/CMakeFiles/csecg_recovery.dir/src/pdhg.cpp.o" "gcc" "src/recovery/CMakeFiles/csecg_recovery.dir/src/pdhg.cpp.o.d"
+  "/root/repo/src/recovery/src/prox.cpp" "src/recovery/CMakeFiles/csecg_recovery.dir/src/prox.cpp.o" "gcc" "src/recovery/CMakeFiles/csecg_recovery.dir/src/prox.cpp.o.d"
+  "/root/repo/src/recovery/src/reweighted.cpp" "src/recovery/CMakeFiles/csecg_recovery.dir/src/reweighted.cpp.o" "gcc" "src/recovery/CMakeFiles/csecg_recovery.dir/src/reweighted.cpp.o.d"
+  "/root/repo/src/recovery/src/spgl1.cpp" "src/recovery/CMakeFiles/csecg_recovery.dir/src/spgl1.cpp.o" "gcc" "src/recovery/CMakeFiles/csecg_recovery.dir/src/spgl1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

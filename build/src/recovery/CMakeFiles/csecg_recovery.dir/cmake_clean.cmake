@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_recovery.dir/src/admm.cpp.o"
+  "CMakeFiles/csecg_recovery.dir/src/admm.cpp.o.d"
+  "CMakeFiles/csecg_recovery.dir/src/fista.cpp.o"
+  "CMakeFiles/csecg_recovery.dir/src/fista.cpp.o.d"
+  "CMakeFiles/csecg_recovery.dir/src/greedy.cpp.o"
+  "CMakeFiles/csecg_recovery.dir/src/greedy.cpp.o.d"
+  "CMakeFiles/csecg_recovery.dir/src/model_based.cpp.o"
+  "CMakeFiles/csecg_recovery.dir/src/model_based.cpp.o.d"
+  "CMakeFiles/csecg_recovery.dir/src/pdhg.cpp.o"
+  "CMakeFiles/csecg_recovery.dir/src/pdhg.cpp.o.d"
+  "CMakeFiles/csecg_recovery.dir/src/prox.cpp.o"
+  "CMakeFiles/csecg_recovery.dir/src/prox.cpp.o.d"
+  "CMakeFiles/csecg_recovery.dir/src/reweighted.cpp.o"
+  "CMakeFiles/csecg_recovery.dir/src/reweighted.cpp.o.d"
+  "CMakeFiles/csecg_recovery.dir/src/spgl1.cpp.o"
+  "CMakeFiles/csecg_recovery.dir/src/spgl1.cpp.o.d"
+  "libcsecg_recovery.a"
+  "libcsecg_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

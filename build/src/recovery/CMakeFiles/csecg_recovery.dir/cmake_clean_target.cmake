@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsecg_recovery.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_rng.dir/src/distributions.cpp.o"
+  "CMakeFiles/csecg_rng.dir/src/distributions.cpp.o.d"
+  "CMakeFiles/csecg_rng.dir/src/xoshiro.cpp.o"
+  "CMakeFiles/csecg_rng.dir/src/xoshiro.cpp.o.d"
+  "libcsecg_rng.a"
+  "libcsecg_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

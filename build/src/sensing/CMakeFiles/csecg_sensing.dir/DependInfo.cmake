@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensing/src/diagnostics.cpp" "src/sensing/CMakeFiles/csecg_sensing.dir/src/diagnostics.cpp.o" "gcc" "src/sensing/CMakeFiles/csecg_sensing.dir/src/diagnostics.cpp.o.d"
+  "/root/repo/src/sensing/src/lowres_channel.cpp" "src/sensing/CMakeFiles/csecg_sensing.dir/src/lowres_channel.cpp.o" "gcc" "src/sensing/CMakeFiles/csecg_sensing.dir/src/lowres_channel.cpp.o.d"
+  "/root/repo/src/sensing/src/matrices.cpp" "src/sensing/CMakeFiles/csecg_sensing.dir/src/matrices.cpp.o" "gcc" "src/sensing/CMakeFiles/csecg_sensing.dir/src/matrices.cpp.o.d"
+  "/root/repo/src/sensing/src/quantizer.cpp" "src/sensing/CMakeFiles/csecg_sensing.dir/src/quantizer.cpp.o" "gcc" "src/sensing/CMakeFiles/csecg_sensing.dir/src/quantizer.cpp.o.d"
+  "/root/repo/src/sensing/src/rmpi.cpp" "src/sensing/CMakeFiles/csecg_sensing.dir/src/rmpi.cpp.o" "gcc" "src/sensing/CMakeFiles/csecg_sensing.dir/src/rmpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/csecg_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

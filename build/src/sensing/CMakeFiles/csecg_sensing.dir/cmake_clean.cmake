@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_sensing.dir/src/diagnostics.cpp.o"
+  "CMakeFiles/csecg_sensing.dir/src/diagnostics.cpp.o.d"
+  "CMakeFiles/csecg_sensing.dir/src/lowres_channel.cpp.o"
+  "CMakeFiles/csecg_sensing.dir/src/lowres_channel.cpp.o.d"
+  "CMakeFiles/csecg_sensing.dir/src/matrices.cpp.o"
+  "CMakeFiles/csecg_sensing.dir/src/matrices.cpp.o.d"
+  "CMakeFiles/csecg_sensing.dir/src/quantizer.cpp.o"
+  "CMakeFiles/csecg_sensing.dir/src/quantizer.cpp.o.d"
+  "CMakeFiles/csecg_sensing.dir/src/rmpi.cpp.o"
+  "CMakeFiles/csecg_sensing.dir/src/rmpi.cpp.o.d"
+  "libcsecg_sensing.a"
+  "libcsecg_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecg.dir/ecg_test.cpp.o"
+  "CMakeFiles/test_ecg.dir/ecg_test.cpp.o.d"
+  "test_ecg"
+  "test_ecg.pdb"
+  "test_ecg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/frame_test.cpp" "tests/CMakeFiles/test_frame.dir/frame_test.cpp.o" "gcc" "tests/CMakeFiles/test_frame.dir/frame_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/csecg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecg/CMakeFiles/csecg_ecg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/csecg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/csecg_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/csecg_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/csecg_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/csecg_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/csecg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

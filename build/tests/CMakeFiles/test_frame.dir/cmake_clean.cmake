@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frame.dir/frame_test.cpp.o"
+  "CMakeFiles/test_frame.dir/frame_test.cpp.o.d"
+  "test_frame"
+  "test_frame.pdb"
+  "test_frame[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

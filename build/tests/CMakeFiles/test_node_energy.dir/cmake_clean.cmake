@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_energy.dir/node_energy_test.cpp.o"
+  "CMakeFiles/test_node_energy.dir/node_energy_test.cpp.o.d"
+  "test_node_energy"
+  "test_node_energy.pdb"
+  "test_node_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qrs.dir/qrs_test.cpp.o"
+  "CMakeFiles/test_qrs.dir/qrs_test.cpp.o.d"
+  "test_qrs"
+  "test_qrs.pdb"
+  "test_qrs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

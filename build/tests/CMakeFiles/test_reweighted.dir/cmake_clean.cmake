@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reweighted.dir/reweighted_test.cpp.o"
+  "CMakeFiles/test_reweighted.dir/reweighted_test.cpp.o.d"
+  "test_reweighted"
+  "test_reweighted.pdb"
+  "test_reweighted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reweighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

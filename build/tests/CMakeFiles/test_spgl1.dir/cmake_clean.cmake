@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spgl1.dir/spgl1_test.cpp.o"
+  "CMakeFiles/test_spgl1.dir/spgl1_test.cpp.o.d"
+  "test_spgl1"
+  "test_spgl1.pdb"
+  "test_spgl1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spgl1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

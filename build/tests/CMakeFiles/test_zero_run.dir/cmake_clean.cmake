@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zero_run.dir/zero_run_test.cpp.o"
+  "CMakeFiles/test_zero_run.dir/zero_run_test.cpp.o.d"
+  "test_zero_run"
+  "test_zero_run.pdb"
+  "test_zero_run[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zero_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
