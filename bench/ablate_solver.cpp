@@ -18,21 +18,6 @@ namespace {
 
 using namespace csecg;
 
-/// Dense A = Φ·Ψ (columns are measured wavelet atoms).
-linalg::Matrix dense_phi_psi(const linalg::Matrix& phi, const dsp::Dwt& dwt) {
-  const std::size_t n = phi.cols();
-  linalg::Matrix a(phi.rows(), n);
-  linalg::Vector unit(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    unit[j] = 1.0;
-    const linalg::Vector atom = dwt.inverse(unit);
-    const linalg::Vector column = linalg::multiply(phi, atom);
-    for (std::size_t i = 0; i < phi.rows(); ++i) a(i, j) = column[i];
-    unit[j] = 0.0;
-  }
-  return a;
-}
-
 struct Timed {
   double snr = 0.0;
   double millis = 0.0;
@@ -69,7 +54,9 @@ int main() {
   rmpi_config.input_full_scale = config.dc_reference();
   const sensing::RmpiSimulator rmpi(rmpi_config);
   const dsp::Dwt dwt(config.wavelet, config.window, config.wavelet_levels);
-  const linalg::Matrix a = dense_phi_psi(rmpi.chips(), dwt);
+  // Dense A = ΦΨ, built once and cached inside the decoder (it uses the
+  // same leakage-aware Φ its own solves see).
+  const linalg::Matrix& a = codec.decoder().synthesis_dictionary();
   const auto a_op = linalg::LinearOperator::from_matrix(a);
 
   const std::size_t record_count =

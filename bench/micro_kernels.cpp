@@ -4,9 +4,18 @@
 // that underlies everything.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "csecg/core/frontend.hpp"
 #include "csecg/dsp/dwt.hpp"
 #include "csecg/ecg/record.hpp"
+#include "csecg/linalg/matrix.hpp"
+#include "csecg/parallel/thread_pool.hpp"
+#include "csecg/rng/distributions.hpp"
+#include "csecg/rng/xoshiro.hpp"
 #include "csecg/sensing/rmpi.hpp"
 
 namespace {
@@ -88,6 +97,104 @@ void BM_HybridDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HybridDecode)->Arg(96)->Unit(benchmark::kMillisecond);
+
+linalg::Matrix random_matrix(std::size_t rows, std::size_t cols) {
+  rng::Xoshiro256 g(7);
+  linalg::Matrix a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) a(i, j) = rng::normal(g);
+  }
+  return a;
+}
+
+// Size sweep over the blocked gemv: the operating points the codec hits
+// (96×512, 240×512) plus square shapes around them.  items_processed
+// reports flop-equivalents (2mn per product).
+void BM_GemvSweep(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const linalg::Matrix a = random_matrix(m, n);
+  linalg::Vector x(n, 1.0);
+  linalg::Vector y(m);
+  for (auto _ : state) {
+    linalg::multiply_into(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * n));
+}
+BENCHMARK(BM_GemvSweep)
+    ->Args({64, 64})
+    ->Args({96, 512})
+    ->Args({240, 512})
+    ->Args({256, 256})
+    ->Args({512, 512})
+    ->Args({1024, 1024});
+
+void BM_GemvTransposeSweep(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const linalg::Matrix a = random_matrix(m, n);
+  linalg::Vector y(m, 1.0);
+  linalg::Vector x(n);
+  for (auto _ : state) {
+    linalg::multiply_transpose_into(a, y, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * n));
+}
+BENCHMARK(BM_GemvTransposeSweep)
+    ->Args({64, 64})
+    ->Args({96, 512})
+    ->Args({240, 512})
+    ->Args({512, 512});
+
+// ThreadPool scaling on an embarrassingly parallel compute-bound loop.
+// On a single-core host the >1-thread variants measure the pool's
+// scheduling overhead rather than speedup.
+void BM_ThreadPoolScaling(benchmark::State& state) {
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kSpin = 20000;
+  std::vector<double> out(kTasks);
+  for (auto _ : state) {
+    pool.parallel_for(0, kTasks, [&](std::size_t i) {
+      double acc = static_cast<double>(i) + 1.0;
+      for (std::size_t k = 0; k < kSpin; ++k) {
+        acc = acc * 1.0000001 + 1e-9;
+      }
+      out[i] = acc;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTasks));
+}
+BENCHMARK(BM_ThreadPoolScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// parallel_for dispatch overhead on an empty body: the fixed cost a
+// caller pays to fan out work.
+void BM_ThreadPoolDispatchOverhead(benchmark::State& state) {
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for(0, pool.threads(), [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ThreadPoolDispatchOverhead)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "csecg/linalg/solve.hpp"
@@ -89,9 +90,18 @@ class Decoder {
 
   const FrontEndConfig& config() const noexcept { return config_; }
 
-  /// Reconstructs a window from its frame.
+  /// Reconstructs a window from its frame.  Thread-safe: decode only
+  /// reads shared state, so one decoder can serve many windows
+  /// concurrently (the experiment runner relies on this).
   DecodeResult decode(const Frame& frame,
                       DecodeMode mode = DecodeMode::kAuto) const;
+
+  /// Dense synthesis dictionary A = Φ·Ψ (columns are measured wavelet
+  /// atoms) — the operator coefficient-domain solvers (FISTA, SPGL1,
+  /// greedy pursuit) consume.  Built on first use and cached for the
+  /// decoder's lifetime so callers stop re-materializing the Φ∘Ψ chain
+  /// per window; safe to call from several threads.
+  const linalg::Matrix& synthesis_dictionary() const;
 
  private:
   FrontEndConfig config_;
@@ -100,6 +110,11 @@ class Decoder {
   std::optional<coding::DeltaHuffmanCodec> codec_;
   dsp::Dwt dwt_;
   linalg::LinearOperator phi_;
+  /// Ψ as an operator, materialized once (decode used to rebuild it per
+  /// window).
+  linalg::LinearOperator psi_;
+  mutable std::once_flag dictionary_once_;
+  mutable linalg::Matrix phi_psi_dense_;
   /// Cholesky of ΦΦᵀ, cached for the least-norm warm start of the
   /// unconstrained (normal-CS) solves.
   std::unique_ptr<linalg::Cholesky> gram_chol_;

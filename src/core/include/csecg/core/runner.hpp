@@ -9,6 +9,7 @@
 
 #include "csecg/core/frontend.hpp"
 #include "csecg/ecg/record.hpp"
+#include "csecg/parallel/thread_pool.hpp"
 
 namespace csecg::core {
 
@@ -42,13 +43,32 @@ struct RecordReport {
   double net_cr_percent = 0.0;      ///< cs_cr − overhead.
 };
 
-/// Encodes/decodes `window_count` windows of one record.  Throws
+/// Encodes/decodes `window_count` windows of one record, decoding windows
+/// concurrently on the given pool.  Every window's metrics are written
+/// into a pre-sized slot and the aggregates are reduced in window order,
+/// so the report is bit-identical for any thread count.  Throws
 /// std::invalid_argument if the record is too short.
+RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
+                        std::size_t window_count, DecodeMode mode,
+                        parallel::ThreadPool& pool);
+
+/// run_record on the process-wide pool (CSECG_THREADS controls its size).
 RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
                         std::size_t window_count,
                         DecodeMode mode = DecodeMode::kAuto);
 
-/// Runs the first `record_count` database records.
+/// Runs the first `record_count` database records, fanning records out
+/// across the pool (window decodes inside each record then run inline).
+/// Deterministic: reports land in pre-sized per-record slots, so the
+/// result is bit-identical to the serial run.
+std::vector<RecordReport> run_database(const Codec& codec,
+                                       const ecg::SyntheticDatabase& database,
+                                       std::size_t record_count,
+                                       std::size_t windows_per_record,
+                                       DecodeMode mode,
+                                       parallel::ThreadPool& pool);
+
+/// run_database on the process-wide pool.
 std::vector<RecordReport> run_database(const Codec& codec,
                                        const ecg::SyntheticDatabase& database,
                                        std::size_t record_count,

@@ -148,7 +148,8 @@ Decoder::Decoder(FrontEndConfig config,
       codec_(std::move(lowres_codec)),
       dwt_(config_.wavelet, config_.window, config_.wavelet_levels),
       phi_(linalg::LinearOperator::from_matrix(
-          sensing_matrix_for(config_, rmpi_))) {
+          sensing_matrix_for(config_, rmpi_))),
+      psi_(dwt_.synthesis_operator()) {
   check_codec_consistency(config_, codec_);
   phi_norm_ = linalg::operator_norm_estimate(phi_, 60);
   sigma_ = config_.sigma_scale * rmpi_.expected_quantization_noise_norm();
@@ -214,12 +215,31 @@ DecodeResult Decoder::decode(const Frame& frame, DecodeMode mode) const {
 
   DecodeResult result;
   result.used_box = use_box;
-  result.solver =
-      recovery::solve_bpdn(phi_, dwt_.synthesis_operator(),
-                           frame.measurements, sigma_, box, options);
+  result.solver = recovery::solve_bpdn(phi_, psi_, frame.measurements,
+                                       sigma_, box, options);
   result.x = result.solver.x;
   for (auto& v : result.x) v += dc;
   return result;
+}
+
+const linalg::Matrix& Decoder::synthesis_dictionary() const {
+  std::call_once(dictionary_once_, [this] {
+    const std::size_t n = config_.window;
+    const linalg::Matrix phi_dense = sensing_matrix_for(config_, rmpi_);
+    linalg::Matrix a(phi_dense.rows(), n);
+    linalg::Vector unit(n);
+    linalg::Vector atom(n);
+    linalg::Vector column(phi_dense.rows());
+    for (std::size_t j = 0; j < n; ++j) {
+      unit[j] = 1.0;
+      dwt_.inverse_into(unit, atom);
+      linalg::multiply_into(phi_dense, atom, column);
+      for (std::size_t i = 0; i < phi_dense.rows(); ++i) a(i, j) = column[i];
+      unit[j] = 0.0;
+    }
+    phi_psi_dense_ = std::move(a);
+  });
+  return phi_psi_dense_;
 }
 
 // ---------------------------------------------------------------------------

@@ -6,7 +6,8 @@
 namespace csecg::core {
 
 RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
-                        std::size_t window_count, DecodeMode mode) {
+                        std::size_t window_count, DecodeMode mode,
+                        parallel::ThreadPool& pool) {
   CSECG_CHECK(window_count > 0, "run_record: window_count must be positive");
   const FrontEndConfig& config = codec.config();
   const auto windows =
@@ -15,11 +16,13 @@ RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
   RecordReport report;
   report.record_name = record.name;
   report.cs_cr_percent = config.cs_compression_ratio();
-  double prd_sum = 0.0;
-  double snr_sum = 0.0;
-  double lowres_bits_sum = 0.0;
 
-  for (const auto& window : windows) {
+  // Each window encodes/decodes independently into its pre-sized slot;
+  // the aggregation below then runs in window order, so the report is
+  // bit-identical whatever the pool size.
+  report.windows.resize(windows.size());
+  pool.parallel_for(0, windows.size(), [&](std::size_t w) {
+    const linalg::Vector& window = windows[w];
     const Frame frame = codec.encoder().encode(window);
     const DecodeResult decoded = codec.decoder().decode(frame, mode);
 
@@ -32,8 +35,13 @@ RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
     m.lowres_bits = frame.lowres_bits;
     m.converged = decoded.solver.converged;
     m.iterations = decoded.solver.iterations;
-    report.windows.push_back(m);
+    report.windows[w] = m;
+  });
 
+  double prd_sum = 0.0;
+  double snr_sum = 0.0;
+  double lowres_bits_sum = 0.0;
+  for (const auto& m : report.windows) {
     prd_sum += m.prd;
     snr_sum += m.snr;
     lowres_bits_sum += static_cast<double>(m.lowres_bits);
@@ -53,20 +61,39 @@ RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
   return report;
 }
 
+RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
+                        std::size_t window_count, DecodeMode mode) {
+  return run_record(codec, record, window_count, mode,
+                    parallel::global_pool());
+}
+
+std::vector<RecordReport> run_database(const Codec& codec,
+                                       const ecg::SyntheticDatabase& database,
+                                       std::size_t record_count,
+                                       std::size_t windows_per_record,
+                                       DecodeMode mode,
+                                       parallel::ThreadPool& pool) {
+  CSECG_CHECK(record_count > 0 && record_count <= database.size(),
+              "run_database: record_count out of range");
+  // Records fan out across the pool; the nested window loop inside
+  // run_record detects it is already on a pool thread and runs inline.
+  // Per-record slots keep the report order (and values) identical to the
+  // serial run.
+  std::vector<RecordReport> reports(record_count);
+  pool.parallel_for(0, record_count, [&](std::size_t r) {
+    reports[r] =
+        run_record(codec, database.record(r), windows_per_record, mode, pool);
+  });
+  return reports;
+}
+
 std::vector<RecordReport> run_database(const Codec& codec,
                                        const ecg::SyntheticDatabase& database,
                                        std::size_t record_count,
                                        std::size_t windows_per_record,
                                        DecodeMode mode) {
-  CSECG_CHECK(record_count > 0 && record_count <= database.size(),
-              "run_database: record_count out of range");
-  std::vector<RecordReport> reports;
-  reports.reserve(record_count);
-  for (std::size_t r = 0; r < record_count; ++r) {
-    reports.push_back(
-        run_record(codec, database.record(r), windows_per_record, mode));
-  }
-  return reports;
+  return run_database(codec, database, record_count, windows_per_record,
+                      mode, parallel::global_pool());
 }
 
 double averaged_snr(const std::vector<RecordReport>& reports) {

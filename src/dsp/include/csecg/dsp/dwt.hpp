@@ -37,6 +37,14 @@ class Dwt {
   /// Synthesis: x = Ψ·coefficients.  Input length must equal size().
   linalg::Vector inverse(const linalg::Vector& coeffs) const;
 
+  /// forward() into a caller-owned vector (resized to size()); avoids the
+  /// output allocation on the solver hot path.  x and coeffs must not
+  /// alias.  Thread-safe (scratch is per call).
+  void forward_into(const linalg::Vector& x, linalg::Vector& coeffs) const;
+
+  /// inverse() into a caller-owned vector; same contract as forward_into.
+  void inverse_into(const linalg::Vector& coeffs, linalg::Vector& x) const;
+
   /// The synthesis operator Ψ (cols = coefficient index, rows = samples);
   /// apply() is inverse(), apply_adjoint() is forward().  This is the
   /// dictionary handed to the recovery solvers.

@@ -1,5 +1,6 @@
 #include "csecg/dsp/dwt.hpp"
 
+#include <memory>
 #include <vector>
 
 #include "csecg/common/check.hpp"
@@ -29,7 +30,23 @@ void Dwt::analyze_one_level(const double* input, std::size_t len,
   const std::size_t flen = wavelet_.length();
   const double* h = wavelet_.lowpass.data();
   const double* g = wavelet_.highpass.data();
-  for (std::size_t i = 0; i < half; ++i) {
+  // Taps stay in range (2i + flen ≤ len) for the first main_count outputs;
+  // only the tail needs the periodic wraparound, so the hot loop carries
+  // no modulo.
+  const std::size_t main_count = len >= flen ? (len - flen) / 2 + 1 : 0;
+  for (std::size_t i = 0; i < main_count; ++i) {
+    const double* in = input + 2 * i;
+    double a = 0.0;
+    double d = 0.0;
+    for (std::size_t k = 0; k < flen; ++k) {
+      const double v = in[k];
+      a += h[k] * v;
+      d += g[k] * v;
+    }
+    approx[i] = a;
+    detail[i] = d;
+  }
+  for (std::size_t i = main_count; i < half; ++i) {
     double a = 0.0;
     double d = 0.0;
     const std::size_t base = 2 * i;
@@ -50,7 +67,16 @@ void Dwt::synthesize_one_level(const double* approx, const double* detail,
   const double* h = wavelet_.lowpass.data();
   const double* g = wavelet_.highpass.data();
   for (std::size_t j = 0; j < len; ++j) output[j] = 0.0;
-  for (std::size_t i = 0; i < half; ++i) {
+  const std::size_t main_count = len >= flen ? (len - flen) / 2 + 1 : 0;
+  for (std::size_t i = 0; i < main_count; ++i) {
+    const double a = approx[i];
+    const double d = detail[i];
+    double* out = output + 2 * i;
+    for (std::size_t k = 0; k < flen; ++k) {
+      out[k] += h[k] * a + g[k] * d;
+    }
+  }
+  for (std::size_t i = main_count; i < half; ++i) {
     const double a = approx[i];
     const double d = detail[i];
     const std::size_t base = 2 * i;
@@ -60,29 +86,39 @@ void Dwt::synthesize_one_level(const double* approx, const double* detail,
   }
 }
 
-linalg::Vector Dwt::forward(const linalg::Vector& x) const {
+void Dwt::forward_into(const linalg::Vector& x,
+                       linalg::Vector& coeffs) const {
   CSECG_CHECK(x.size() == n_, "Dwt::forward expected length "
                                   << n_ << ", got " << x.size());
-  linalg::Vector coeffs(n_);
-  std::vector<double> current(x.begin(), x.end());
-  std::vector<double> approx(n_ / 2);
+  coeffs.resize(n_);
+  // One scratch allocation (the per-level workspace); kept local so a
+  // shared Dwt stays safe to use from several threads at once.
+  std::vector<double> scratch(n_ + n_ / 2);
+  double* current = scratch.data();
+  double* approx = scratch.data() + n_;
+  for (std::size_t i = 0; i < n_; ++i) current[i] = x[i];
   std::size_t len = n_;
   for (int level = 0; level < levels_; ++level) {
     const std::size_t half = len / 2;
     // Details for this level land at the tail of the active region.
-    analyze_one_level(current.data(), len, approx.data(),
-                      coeffs.data() + half);
+    analyze_one_level(current, len, approx, coeffs.data() + half);
     for (std::size_t i = 0; i < half; ++i) current[i] = approx[i];
     len = half;
   }
   for (std::size_t i = 0; i < len; ++i) coeffs[i] = current[i];
+}
+
+linalg::Vector Dwt::forward(const linalg::Vector& x) const {
+  linalg::Vector coeffs;
+  forward_into(x, coeffs);
   return coeffs;
 }
 
-linalg::Vector Dwt::inverse(const linalg::Vector& coeffs) const {
+void Dwt::inverse_into(const linalg::Vector& coeffs,
+                       linalg::Vector& x) const {
   CSECG_CHECK(coeffs.size() == n_, "Dwt::inverse expected length "
                                        << n_ << ", got " << coeffs.size());
-  linalg::Vector x = coeffs;
+  x = coeffs;
   std::vector<double> merged(n_);
   std::size_t half = n_ >> levels_;
   for (int level = levels_ - 1; level >= 0; --level) {
@@ -91,15 +127,27 @@ linalg::Vector Dwt::inverse(const linalg::Vector& coeffs) const {
     for (std::size_t i = 0; i < len; ++i) x[i] = merged[i];
     half = len;
   }
+}
+
+linalg::Vector Dwt::inverse(const linalg::Vector& coeffs) const {
+  linalg::Vector x;
+  inverse_into(coeffs, x);
   return x;
 }
 
 linalg::LinearOperator Dwt::synthesis_operator() const {
-  const Dwt self = *this;
+  // One shared transform instance behind all four callables.
+  const auto self = std::make_shared<const Dwt>(*this);
   return linalg::LinearOperator(
       n_, n_,
-      [self](const linalg::Vector& coeffs) { return self.inverse(coeffs); },
-      [self](const linalg::Vector& x) { return self.forward(x); });
+      [self](const linalg::Vector& coeffs) { return self->inverse(coeffs); },
+      [self](const linalg::Vector& x) { return self->forward(x); },
+      [self](const linalg::Vector& coeffs, linalg::Vector& x) {
+        self->inverse_into(coeffs, x);
+      },
+      [self](const linalg::Vector& x, linalg::Vector& coeffs) {
+        self->forward_into(x, coeffs);
+      });
 }
 
 }  // namespace csecg::dsp

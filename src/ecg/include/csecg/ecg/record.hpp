@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -85,7 +86,8 @@ class SyntheticDatabase {
   /// Number of records (always 48, matching MIT-BIH).
   std::size_t size() const noexcept;
 
-  /// Record by index; generated on first access and cached.
+  /// Record by index; generated on first access and cached.  Thread-safe
+  /// (the parallel experiment runner pulls records from pool workers).
   /// Throws std::invalid_argument if index ≥ size().
   const EcgRecord& record(std::size_t index) const;
 
@@ -97,6 +99,7 @@ class SyntheticDatabase {
  private:
   RecordConfig config_;
   std::uint64_t seed_;
+  mutable std::mutex cache_mutex_;
   mutable std::vector<std::unique_ptr<EcgRecord>> cache_;
 };
 

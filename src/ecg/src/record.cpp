@@ -173,6 +173,9 @@ std::size_t SyntheticDatabase::size() const noexcept { return kRecordCount; }
 const EcgRecord& SyntheticDatabase::record(std::size_t index) const {
   CSECG_CHECK(index < kRecordCount,
               "SyntheticDatabase: index " << index << " out of range");
+  // One lock covers check + fill; generation is deterministic per index,
+  // so contention only costs the losers a wait, never a different record.
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
   if (!cache_[index]) {
     const RecordProfile& profile = mitbih_surrogate_profiles()[index];
     // Per-record seed: SplitMix over (database seed, index).

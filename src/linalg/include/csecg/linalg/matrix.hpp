@@ -61,6 +61,18 @@ Vector multiply(const Matrix& a, const Vector& x);
 /// y = Aᵀ·x.  Requires x.size() == A.rows().
 Vector multiply_transpose(const Matrix& a, const Vector& x);
 
+/// y = A·x written into a caller-owned vector (resized to A.rows());
+/// allocation-free when y already has the right size.  The kernel blocks
+/// rows in groups of four with four independent accumulators each, so x
+/// is streamed once per block and the reduction has no loop-carried
+/// dependency chain.
+void multiply_into(const Matrix& a, const Vector& x, Vector& y);
+
+/// y = Aᵀ·x written into a caller-owned vector (resized to A.cols());
+/// allocation-free when y already has the right size.  Blocks rows in
+/// groups of four (branch-free, one pass over y per block).
+void multiply_transpose_into(const Matrix& a, const Vector& x, Vector& y);
+
 /// C = A·B.  Requires a.cols() == b.rows().
 Matrix multiply(const Matrix& a, const Matrix& b);
 

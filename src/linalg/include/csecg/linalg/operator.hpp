@@ -17,12 +17,22 @@ namespace csecg::linalg {
 class LinearOperator {
  public:
   using Apply = std::function<Vector(const Vector&)>;
+  /// Destination-passing form: writes the product into a caller-owned
+  /// vector (already sized correctly) without allocating.
+  using ApplyInto = std::function<void(const Vector&, Vector&)>;
 
   LinearOperator() = default;
 
   /// Wraps forward/adjoint callables with explicit dimensions.
   LinearOperator(std::size_t rows, std::size_t cols, Apply forward,
                  Apply adjoint);
+
+  /// Wraps forward/adjoint callables plus allocation-free destination
+  /// variants.  The *_into callables must compute the same products as
+  /// their allocating counterparts; solvers pick whichever is cheaper.
+  LinearOperator(std::size_t rows, std::size_t cols, Apply forward,
+                 Apply adjoint, ApplyInto forward_into,
+                 ApplyInto adjoint_into);
 
   /// Wraps a dense matrix (copies it).
   static LinearOperator from_matrix(const Matrix& a);
@@ -46,11 +56,23 @@ class LinearOperator {
   /// Kᵀ·y.  Validates the input dimension.
   Vector apply_adjoint(const Vector& y) const;
 
+  /// y ← K·x into a caller-owned vector (resized to rows()).  Uses the
+  /// native destination callable when available (allocation-free for
+  /// from_matrix operators), otherwise falls back to apply().  `x` and
+  /// `y` must not alias.
+  void apply_into(const Vector& x, Vector& y) const;
+
+  /// x ← Kᵀ·y into a caller-owned vector (resized to cols()); same
+  /// contract as apply_into.
+  void apply_adjoint_into(const Vector& y, Vector& x) const;
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   Apply forward_;
   Apply adjoint_;
+  ApplyInto forward_into_;
+  ApplyInto adjoint_into_;
 };
 
 /// Estimates the operator norm ‖K‖₂ (largest singular value) by power

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <utility>
 
 #include "csecg/common/check.hpp"
@@ -18,17 +19,34 @@ LinearOperator::LinearOperator(std::size_t rows, std::size_t cols,
   CSECG_CHECK(forward_ && adjoint_, "LinearOperator needs both callables");
 }
 
+LinearOperator::LinearOperator(std::size_t rows, std::size_t cols,
+                               Apply forward, Apply adjoint,
+                               ApplyInto forward_into, ApplyInto adjoint_into)
+    : LinearOperator(rows, cols, std::move(forward), std::move(adjoint)) {
+  forward_into_ = std::move(forward_into);
+  adjoint_into_ = std::move(adjoint_into);
+  CSECG_CHECK(forward_into_ && adjoint_into_,
+              "LinearOperator needs both destination callables");
+}
+
 LinearOperator LinearOperator::from_matrix(const Matrix& a) {
   CSECG_CHECK(a.rows() > 0 && a.cols() > 0, "from_matrix: empty matrix");
+  // One shared copy of the matrix across all four callables.
+  const auto shared = std::make_shared<const Matrix>(a);
   return LinearOperator(
       a.rows(), a.cols(),
-      [a](const Vector& x) { return multiply(a, x); },
-      [a](const Vector& y) { return multiply_transpose(a, y); });
+      [shared](const Vector& x) { return multiply(*shared, x); },
+      [shared](const Vector& y) { return multiply_transpose(*shared, y); },
+      [shared](const Vector& x, Vector& y) { multiply_into(*shared, x, y); },
+      [shared](const Vector& y, Vector& x) {
+        multiply_transpose_into(*shared, y, x);
+      });
 }
 
 LinearOperator LinearOperator::identity(std::size_t n) {
   auto id = [](const Vector& x) { return x; };
-  return LinearOperator(n, n, id, id);
+  auto id_into = [](const Vector& x, Vector& y) { y = x; };
+  return LinearOperator(n, n, id, id, id_into, id_into);
 }
 
 LinearOperator LinearOperator::vstack(const LinearOperator& top,
@@ -56,7 +74,28 @@ LinearOperator LinearOperator::vstack(const LinearOperator& top,
     x += bottom.apply_adjoint(y2);
     return x;
   };
-  return LinearOperator(m1 + m2, n, forward, adjoint);
+  // Destination variants still need split/merge temporaries (the operand
+  // interfaces take whole vectors) but skip the final stacked copy.
+  auto forward_into = [top, bottom, m1, m2](const Vector& x, Vector& y) {
+    y.resize(m1 + m2);
+    Vector part;
+    top.apply_into(x, part);
+    for (std::size_t i = 0; i < m1; ++i) y[i] = part[i];
+    bottom.apply_into(x, part);
+    for (std::size_t i = 0; i < m2; ++i) y[m1 + i] = part[i];
+  };
+  auto adjoint_into = [top, bottom, m1, m2](const Vector& y, Vector& x) {
+    Vector y1(m1);
+    for (std::size_t i = 0; i < m1; ++i) y1[i] = y[i];
+    top.apply_adjoint_into(y1, x);
+    Vector y2(m2);
+    for (std::size_t i = 0; i < m2; ++i) y2[i] = y[m1 + i];
+    Vector part;
+    bottom.apply_adjoint_into(y2, part);
+    x += part;
+  };
+  return LinearOperator(m1 + m2, n, forward, adjoint, forward_into,
+                        adjoint_into);
 }
 
 LinearOperator LinearOperator::compose(const LinearOperator& other) const {
@@ -70,6 +109,16 @@ LinearOperator LinearOperator::compose(const LinearOperator& other) const {
       [outer, inner](const Vector& x) { return outer.apply(inner.apply(x)); },
       [outer, inner](const Vector& y) {
         return inner.apply_adjoint(outer.apply_adjoint(y));
+      },
+      [outer, inner](const Vector& x, Vector& y) {
+        Vector mid;
+        inner.apply_into(x, mid);
+        outer.apply_into(mid, y);
+      },
+      [outer, inner](const Vector& y, Vector& x) {
+        Vector mid;
+        outer.apply_adjoint_into(y, mid);
+        inner.apply_adjoint_into(mid, x);
       });
 }
 
@@ -85,6 +134,31 @@ Vector LinearOperator::apply_adjoint(const Vector& y) const {
   CSECG_CHECK(y.size() == rows_, "apply_adjoint dimension mismatch: expected "
                                      << rows_ << ", got " << y.size());
   return adjoint_(y);
+}
+
+void LinearOperator::apply_into(const Vector& x, Vector& y) const {
+  CSECG_CHECK(forward_, "LinearOperator::apply_into on empty operator");
+  CSECG_CHECK(x.size() == cols_, "apply_into dimension mismatch: expected "
+                                     << cols_ << ", got " << x.size());
+  if (forward_into_) {
+    y.resize(rows_);
+    forward_into_(x, y);
+  } else {
+    y = forward_(x);
+  }
+}
+
+void LinearOperator::apply_adjoint_into(const Vector& y, Vector& x) const {
+  CSECG_CHECK(adjoint_, "LinearOperator::apply_adjoint_into on empty operator");
+  CSECG_CHECK(y.size() == rows_,
+              "apply_adjoint_into dimension mismatch: expected "
+                  << rows_ << ", got " << y.size());
+  if (adjoint_into_) {
+    x.resize(cols_);
+    adjoint_into_(y, x);
+  } else {
+    x = adjoint_(y);
+  }
 }
 
 double operator_norm_estimate(const LinearOperator& op, int iterations) {

@@ -35,12 +35,18 @@ FistaResult solve_lasso_fista(const linalg::LinearOperator& a,
   linalg::Vector momentum = alpha;  // The extrapolated point.
   double t = 1.0;
 
+  // Per-solve workspaces so the iteration loop is allocation-free.
+  linalg::Vector residual(a.rows());
+  linalg::Vector grad(n);
+  linalg::Vector alpha_new(n);
+  linalg::Vector change(n);
+
   FistaResult result;
   for (int it = 1; it <= options.max_iterations; ++it) {
     // Gradient of the smooth part at the momentum point.
-    const linalg::Vector residual = a.apply(momentum) - y;
-    const linalg::Vector grad = a.apply_adjoint(residual);
-    linalg::Vector alpha_new(n);
+    a.apply_into(momentum, residual);
+    residual -= y;
+    a.apply_adjoint_into(residual, grad);
     for (std::size_t i = 0; i < n; ++i) {
       alpha_new[i] =
           soft_threshold(momentum[i] - step * grad[i], step * lambda);
@@ -50,9 +56,12 @@ FistaResult solve_lasso_fista(const linalg::LinearOperator& a,
     for (std::size_t i = 0; i < n; ++i) {
       momentum[i] = alpha_new[i] + beta * (alpha_new[i] - alpha[i]);
     }
-    const double rel_change = linalg::norm2(alpha_new - alpha) /
+    for (std::size_t i = 0; i < n; ++i) {
+      change[i] = alpha_new[i] - alpha[i];
+    }
+    const double rel_change = linalg::norm2(change) /
                               std::max(linalg::norm2(alpha_new), 1.0);
-    alpha = std::move(alpha_new);
+    std::swap(alpha, alpha_new);
     t = t_new;
     result.iterations = it;
     if (rel_change <= options.tol) {
@@ -61,7 +70,8 @@ FistaResult solve_lasso_fista(const linalg::LinearOperator& a,
     }
   }
 
-  const linalg::Vector residual = a.apply(alpha) - y;
+  a.apply_into(alpha, residual);
+  residual -= y;
   result.objective = 0.5 * linalg::norm2_squared(residual) +
                      lambda * linalg::norm1(alpha);
   result.coefficients = std::move(alpha);

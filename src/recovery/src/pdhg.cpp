@@ -82,6 +82,16 @@ PdhgResult solve_bpdn(const linalg::LinearOperator& phi,
   linalg::Vector q1(m);
   linalg::Vector q2(box ? n : 0);
 
+  // Per-solve workspaces, reused every iteration so the loop itself is
+  // allocation-free (the operators' *_into paths write in place).
+  linalg::Vector w_m(m);       // σ_d·Φx̄ + q1.
+  linalg::Vector scaled_m(m);  // w_m / σ_d (the point to project).
+  linalg::Vector diff_m(m);    // scaled_m − y.
+  linalg::Vector grad(n);      // Φᵀq1 [+ q2].
+  linalg::Vector x_new(n);
+  linalg::Vector coeffs(n);
+  linalg::Vector check_diff(n);
+
   const double y_scale = std::max(linalg::norm2(y), 1.0);
   double box_scale = 1.0;
   if (box) {
@@ -98,57 +108,65 @@ PdhgResult solve_bpdn(const linalg::LinearOperator& phi,
   for (int it = 1; it <= options.max_iterations; ++it) {
     // Dual ascent on the ball block: q1 += σ_d·Φx̄ then Moreau.
     {
-      linalg::Vector v = phi.apply(x_bar);
-      v *= sigma_d;
-      v += q1;
-      linalg::Vector scaled(m);
-      for (std::size_t i = 0; i < m; ++i) scaled[i] = v[i] / sigma_d;
-      const linalg::Vector projected = project_l2_ball(scaled, y, sigma);
-      for (std::size_t i = 0; i < m; ++i) {
-        q1[i] = v[i] - sigma_d * projected[i];
+      phi.apply_into(x_bar, w_m);
+      for (std::size_t i = 0; i < m; ++i) w_m[i] = w_m[i] * sigma_d + q1[i];
+      for (std::size_t i = 0; i < m; ++i) scaled_m[i] = w_m[i] / sigma_d;
+      // project_l2_ball(scaled_m, y, sigma), in place.
+      for (std::size_t i = 0; i < m; ++i) diff_m[i] = scaled_m[i] - y[i];
+      const double dist = linalg::norm2(diff_m);
+      if (dist <= sigma) {
+        for (std::size_t i = 0; i < m; ++i) {
+          q1[i] = w_m[i] - sigma_d * scaled_m[i];
+        }
+      } else {
+        const double scale = sigma / dist;
+        for (std::size_t i = 0; i < m; ++i) {
+          q1[i] = w_m[i] - sigma_d * (y[i] + scale * diff_m[i]);
+        }
       }
     }
     // Dual ascent on the box block.
     if (box) {
-      linalg::Vector v(n);
       for (std::size_t i = 0; i < n; ++i) {
-        v[i] = q2[i] + sigma_d * x_bar[i];
-      }
-      for (std::size_t i = 0; i < n; ++i) {
+        const double v = q2[i] + sigma_d * x_bar[i];
         const double proj =
-            std::clamp(v[i] / sigma_d, box->lower[i], box->upper[i]);
-        q2[i] = v[i] - sigma_d * proj;
+            std::clamp(v / sigma_d, box->lower[i], box->upper[i]);
+        q2[i] = v - sigma_d * proj;
       }
     }
     // Primal descent: x ← prox_{τ‖Ψᵀ·‖₁}(x − τ·Kᵀq).
-    linalg::Vector grad = phi.apply_adjoint(q1);
+    phi.apply_adjoint_into(q1, grad);
     if (box) grad += q2;
-    linalg::Vector x_new(n);
     for (std::size_t i = 0; i < n; ++i) x_new[i] = x[i] - tau * grad[i];
     {
-      linalg::Vector coeffs = psi.apply_adjoint(x_new);
+      psi.apply_adjoint_into(x_new, coeffs);
       for (std::size_t i = 0; i < n; ++i) {
         const double threshold =
             weighted ? tau * options.coefficient_weights[i] : tau;
         coeffs[i] = soft_threshold(coeffs[i], threshold);
       }
-      x_new = psi.apply(coeffs);
+      psi.apply_into(coeffs, x_new);
     }
-    // Extrapolation.
+    // Extrapolation, then adopt x_new as x (swap: x's old storage becomes
+    // next iteration's x_new scratch).
     for (std::size_t i = 0; i < n; ++i) {
       x_bar[i] = x_new[i] + options.theta * (x_new[i] - x[i]);
     }
-    x = x_new;
+    std::swap(x, x_new);
     result.iterations = it;
 
     if (it % options.check_every == 0 || it == options.max_iterations) {
-      const double dx = linalg::norm2(x - x_prev_check);
+      for (std::size_t i = 0; i < n; ++i) {
+        check_diff[i] = x[i] - x_prev_check[i];
+      }
+      const double dx = linalg::norm2(check_diff);
       const double rel_change = dx / std::max(linalg::norm2(x), 1.0);
       x_prev_check = x;
 
-      const linalg::Vector residual = phi.apply(x) - y;
+      phi.apply_into(x, w_m);
+      for (std::size_t i = 0; i < m; ++i) w_m[i] -= y[i];
       const double ball_viol =
-          std::max(0.0, linalg::norm2(residual) - sigma);
+          std::max(0.0, linalg::norm2(w_m) - sigma);
       double box_viol = 0.0;
       if (box) {
         for (std::size_t i = 0; i < n; ++i) {

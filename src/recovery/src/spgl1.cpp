@@ -73,11 +73,17 @@ Spgl1Result solve_bpdn_spgl1(const linalg::LinearOperator& a,
   linalg::Vector alpha(a.cols());
   linalg::Vector residual = y;  // y − A·0.
 
+  // Reused across root and inner iterations (allocation-free products).
+  linalg::Vector ax(a.rows());
+  linalg::Vector grad(a.cols());
+  linalg::Vector candidate(a.cols());
+
   for (int root_it = 1; root_it <= options.max_root_iterations; ++root_it) {
     result.root_iterations = root_it;
     // Newton step on the Pareto curve: φ(τ) ≈ ‖r‖, φ'(τ) = −‖Aᵀr‖∞/‖r‖.
     const double phi = linalg::norm2(residual);
-    const double dual_norm = linalg::norm_inf(a.apply_adjoint(residual));
+    a.apply_adjoint_into(residual, grad);
+    const double dual_norm = linalg::norm_inf(grad);
     if (dual_norm <= 0.0) break;
     tau += (phi - sigma) * phi / dual_norm;
     if (tau < 0.0) tau = 0.0;
@@ -87,19 +93,24 @@ Spgl1Result solve_bpdn_spgl1(const linalg::LinearOperator& a,
     alpha = project_l1_ball(alpha, tau);
     for (int it = 0; it < options.max_inner_iterations; ++it) {
       ++result.total_inner_iterations;
-      residual = y - a.apply(alpha);
-      const linalg::Vector grad = a.apply_adjoint(residual);
-      linalg::Vector next(alpha.size());
-      for (std::size_t i = 0; i < alpha.size(); ++i) {
-        next[i] = alpha[i] + step * grad[i];
+      a.apply_into(alpha, ax);
+      for (std::size_t i = 0; i < residual.size(); ++i) {
+        residual[i] = y[i] - ax[i];
       }
-      next = project_l1_ball(next, tau);
+      a.apply_adjoint_into(residual, grad);
+      for (std::size_t i = 0; i < alpha.size(); ++i) {
+        candidate[i] = alpha[i] + step * grad[i];
+      }
+      linalg::Vector next = project_l1_ball(candidate, tau);
       const double change = linalg::norm2(next - alpha) /
                             std::max(linalg::norm2(next), 1.0);
       alpha = std::move(next);
       if (change <= options.inner_tol) break;
     }
-    residual = y - a.apply(alpha);
+    a.apply_into(alpha, ax);
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      residual[i] = y[i] - ax[i];
+    }
     result.residual_norm = linalg::norm2(residual);
     if (std::abs(result.residual_norm - sigma) <=
         options.root_tol * scale) {

@@ -130,6 +130,105 @@ TEST(Matrix, MultiplyTransposeMatchesExplicitTranspose) {
   }
 }
 
+namespace {
+
+// Straightforward row-dot reference kernels the blocked/unrolled production
+// gemv paths are checked against.
+Vector naive_gemv(const Matrix& a, const Vector& x) {
+  Vector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) sum += a(i, j) * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Vector naive_gemv_transpose(const Matrix& a, const Vector& y) {
+  Vector x(a.cols());
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) sum += a(i, j) * y[i];
+    x[j] = sum;
+  }
+  return x;
+}
+
+}  // namespace
+
+TEST(Matrix, BlockedGemvMatchesNaiveOnOddAndNonSquareShapes) {
+  // Shapes straddle the 4-row blocking: multiples of 4, remainders 1–3,
+  // tall, wide, and single-row/column edge cases.
+  const std::size_t shapes[][2] = {{1, 1},  {1, 7},  {3, 5},  {4, 4},
+                                   {5, 3},  {7, 1},  {8, 12}, {9, 2},
+                                   {13, 6}, {64, 256}, {255, 33}};
+  int seed = 100;
+  for (const auto& shape : shapes) {
+    const Matrix a = random_matrix(shape[0], shape[1], seed++);
+    const Vector x = random_vector(shape[1], seed++);
+    const Vector blocked = multiply(a, x);
+    const Vector naive = naive_gemv(a, x);
+    ASSERT_EQ(blocked.size(), naive.size());
+    for (std::size_t i = 0; i < blocked.size(); ++i) {
+      EXPECT_NEAR(blocked[i], naive[i], 1e-11 * (1.0 + std::abs(naive[i])))
+          << shape[0] << "x" << shape[1] << " row " << i;
+    }
+
+    Vector into(shape[0]);
+    multiply_into(a, x, into);
+    EXPECT_EQ(into, blocked);  // same kernel, bit-identical
+  }
+}
+
+TEST(Matrix, BlockedGemvTransposeMatchesNaiveOnOddAndNonSquareShapes) {
+  const std::size_t shapes[][2] = {{1, 1}, {1, 9}, {2, 7},  {4, 4},
+                                   {5, 5}, {6, 3}, {11, 8}, {33, 255}};
+  int seed = 300;
+  for (const auto& shape : shapes) {
+    const Matrix a = random_matrix(shape[0], shape[1], seed++);
+    const Vector y = random_vector(shape[0], seed++);
+    const Vector blocked = multiply_transpose(a, y);
+    const Vector naive = naive_gemv_transpose(a, y);
+    ASSERT_EQ(blocked.size(), naive.size());
+    for (std::size_t j = 0; j < blocked.size(); ++j) {
+      EXPECT_NEAR(blocked[j], naive[j], 1e-11 * (1.0 + std::abs(naive[j])))
+          << shape[0] << "x" << shape[1] << " col " << j;
+    }
+
+    Vector into(shape[1]);
+    multiply_transpose_into(a, y, into);
+    EXPECT_EQ(into, blocked);
+  }
+}
+
+TEST(Matrix, BlockedGemvTransposeHandlesZeroEntriesInY) {
+  // The seed kernel skipped rows where y[i] == 0; the blocked kernel is
+  // branch-free and must produce the same result.
+  Matrix a(6, 3);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      a(i, j) = static_cast<double>(i * 3 + j + 1);
+    }
+  }
+  const Vector y{0.0, 2.0, 0.0, -1.0, 0.0, 0.5};
+  const Vector fast = multiply_transpose(a, y);
+  const Vector naive = naive_gemv_transpose(a, y);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(fast[j], naive[j]);
+}
+
+TEST(Matrix, MultiplyIntoValidatesShapes) {
+  const Matrix a = random_matrix(4, 6, 42);
+  Vector y(4);
+  EXPECT_THROW(multiply_into(a, Vector(5), y), std::invalid_argument);
+  Vector x(6);
+  EXPECT_THROW(multiply_transpose_into(a, Vector(3), x),
+               std::invalid_argument);
+  // Destination is resized, not validated.
+  Vector wrong_size(1);
+  multiply_into(a, Vector(6), wrong_size);
+  EXPECT_EQ(wrong_size.size(), 4u);
+}
+
 TEST(Matrix, MatrixMultiplyAssociatesWithIdentity) {
   const Matrix a = random_matrix(4, 5, 3);
   const Matrix ai = multiply(a, Matrix::identity(5));

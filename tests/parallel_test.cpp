@@ -1,0 +1,161 @@
+// Tests for csecg::parallel — pool semantics (coverage, chunk assignment,
+// exception propagation, nesting) and the experiment-layer determinism
+// guarantee: a multi-threaded run_database produces bit-identical
+// RecordReports to the serial run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "csecg/core/frontend.hpp"
+#include "csecg/core/runner.hpp"
+#include "csecg/parallel/thread_pool.hpp"
+
+namespace csecg {
+namespace {
+
+TEST(ThreadPool, ReportsRequestedThreadCount) {
+  parallel::ThreadPool pool(3);
+  EXPECT_EQ(pool.threads(), 3u);
+  parallel::ThreadPool serial(1);
+  EXPECT_EQ(serial.threads(), 1u);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonoursEnvOverride) {
+  ::setenv("CSECG_THREADS", "5", 1);
+  EXPECT_EQ(parallel::default_thread_count(), 5u);
+  ::setenv("CSECG_THREADS", "not-a-number", 1);
+  EXPECT_GE(parallel::default_thread_count(), 1u);
+  ::unsetenv("CSECG_THREADS");
+  EXPECT_GE(parallel::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  parallel::ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(0, kCount, [&hits](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndTinyRanges) {
+  parallel::ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Fewer items than threads: each index still runs exactly once.
+  std::vector<std::atomic<int>> hits(2);
+  pool.parallel_for(0, 2, [&hits](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(ThreadPool, ParallelMapMatchesSerialMap) {
+  parallel::ThreadPool pool(4);
+  parallel::ThreadPool serial(1);
+  auto square = [](std::size_t i) { return static_cast<double>(i * i); };
+  const auto parallel_out = pool.parallel_map<double>(257, square);
+  const auto serial_out = serial.parallel_map<double>(257, square);
+  ASSERT_EQ(parallel_out.size(), serial_out.size());
+  for (std::size_t i = 0; i < parallel_out.size(); ++i) {
+    EXPECT_EQ(parallel_out[i], serial_out[i]);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptionsFromLoopBodies) {
+  parallel::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 37) {
+                            throw std::runtime_error("body failed");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool survives a failed loop and keeps working.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&count](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  parallel::ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 8, [&pool, &inner_total](std::size_t) {
+    pool.parallel_for(0, 4, [&inner_total](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the parallel experiment runner.
+
+TEST(ParallelRunner, RunDatabaseIsBitIdenticalAcrossThreadCounts) {
+  ecg::RecordConfig record_config;
+  record_config.duration_seconds = 15.0;
+  const ecg::SyntheticDatabase database(record_config, 2015);
+
+  core::FrontEndConfig config;
+  config.window = 256;
+  config.measurements = 64;
+  config.wavelet_levels = 4;
+  config.solver.max_iterations = 300;
+  const auto lowres_codec = core::train_lowres_codec(config, database, 3, 3);
+  const core::Codec codec(config, lowres_codec);
+
+  parallel::ThreadPool serial(1);
+  parallel::ThreadPool threaded(4);
+  const auto serial_reports =
+      core::run_database(codec, database, 4, 2, core::DecodeMode::kAuto,
+                         serial);
+  const auto threaded_reports =
+      core::run_database(codec, database, 4, 2, core::DecodeMode::kAuto,
+                         threaded);
+
+  ASSERT_EQ(serial_reports.size(), threaded_reports.size());
+  for (std::size_t r = 0; r < serial_reports.size(); ++r) {
+    const auto& a = serial_reports[r];
+    const auto& b = threaded_reports[r];
+    EXPECT_EQ(a.record_name, b.record_name);
+    // Bit-identical aggregates (exact double equality, not tolerance).
+    EXPECT_EQ(a.mean_prd, b.mean_prd);
+    EXPECT_EQ(a.mean_snr, b.mean_snr);
+    EXPECT_EQ(a.cs_cr_percent, b.cs_cr_percent);
+    EXPECT_EQ(a.overhead_percent, b.overhead_percent);
+    EXPECT_EQ(a.net_cr_percent, b.net_cr_percent);
+    ASSERT_EQ(a.windows.size(), b.windows.size());
+    for (std::size_t w = 0; w < a.windows.size(); ++w) {
+      EXPECT_EQ(a.windows[w].prd, b.windows[w].prd);
+      EXPECT_EQ(a.windows[w].snr, b.windows[w].snr);
+      EXPECT_EQ(a.windows[w].prd_raw, b.windows[w].prd_raw);
+      EXPECT_EQ(a.windows[w].snr_raw, b.windows[w].snr_raw);
+      EXPECT_EQ(a.windows[w].cs_bits, b.windows[w].cs_bits);
+      EXPECT_EQ(a.windows[w].lowres_bits, b.windows[w].lowres_bits);
+      EXPECT_EQ(a.windows[w].converged, b.windows[w].converged);
+      EXPECT_EQ(a.windows[w].iterations, b.windows[w].iterations);
+    }
+  }
+}
+
+TEST(ParallelRunner, DefaultEntryPointsStillValidateArguments) {
+  ecg::RecordConfig record_config;
+  record_config.duration_seconds = 15.0;
+  const ecg::SyntheticDatabase database(record_config, 2015);
+  core::FrontEndConfig config;
+  config.window = 256;
+  config.measurements = 64;
+  config.wavelet_levels = 4;
+  config.lowres_bits = 0;  // No codec needed.
+  const core::Codec codec(config, std::nullopt);
+  EXPECT_THROW(core::run_database(codec, database, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(core::run_record(codec, database.record(0), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csecg
