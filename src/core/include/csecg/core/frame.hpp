@@ -14,6 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "csecg/linalg/vector.hpp"
@@ -56,8 +59,28 @@ struct Frame {
 std::vector<std::uint8_t> serialize_frame(
     const Frame& frame, const sensing::Quantizer& measurement_adc);
 
-/// Parses a serialized frame.  Throws std::invalid_argument on malformed
-/// or truncated input.
+/// Typed parse failure for over-the-air input, so receivers can tell
+/// "the radio delivered garbage" apart from other failures by type.
+/// Derives from std::invalid_argument to stay compatible with callers
+/// that catch the historical exception type.
+class FrameError : public std::invalid_argument {
+ public:
+  explicit FrameError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Parses a serialized frame without throwing on malformed input: every
+/// read is bounds-checked, field values are validated against the shared
+/// ADC design knowledge (bit depth, code range), and trailing garbage is
+/// rejected.  Returns std::nullopt on any defect; when `error` is non-null
+/// it receives a description of the first defect found.
+std::optional<Frame> try_deserialize_frame(
+    const std::vector<std::uint8_t>& bytes,
+    const sensing::Quantizer& measurement_adc,
+    std::string* error = nullptr);
+
+/// Parses a serialized frame.  Throws FrameError on malformed or
+/// truncated input (same validation as try_deserialize_frame).
 Frame deserialize_frame(const std::vector<std::uint8_t>& bytes,
                         const sensing::Quantizer& measurement_adc);
 

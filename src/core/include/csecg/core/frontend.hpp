@@ -82,6 +82,34 @@ struct DecodeResult {
   bool used_box = false;       ///< True when the hybrid constraint was on.
 };
 
+/// A window as it survived a lossy link: per-measurement and per-sample
+/// delivery masks, produced by the link layer's reassembler
+/// (csecg::link::Reassembler).  Entries whose mask is 0 are undefined.
+struct LossyWindow {
+  std::size_t window = 0;  ///< n — must match the decoder config.
+  /// Measurement values (ADC reconstruction levels), length m.
+  linalg::Vector measurements;
+  /// 1 where the measurement's packet arrived with a valid CRC, length m.
+  std::vector<std::uint8_t> measurement_mask;
+  /// Low-resolution codes, length n (empty when the side channel is off
+  /// or nothing of it arrived).
+  std::vector<std::int64_t> lowres_codes;
+  /// 1 where the sample's low-res packet arrived, length n (empty with
+  /// lowres_codes).
+  std::vector<std::uint8_t> lowres_mask;
+};
+
+/// Outcome of a loss-resilient decode.
+struct LossyDecodeResult {
+  linalg::Vector x;             ///< Reconstructed raw-unit window.
+  recovery::PdhgResult solver;  ///< Convergence diagnostics (default-
+                                ///< initialized on the low-res-only path).
+  std::size_t effective_m = 0;  ///< Φ rows that survived the link.
+  std::size_t boxed_samples = 0;  ///< Samples with a live box constraint.
+  bool used_box = false;        ///< Any box constraint was active.
+  bool lowres_only = false;     ///< Whole CS train lost — staircase output.
+};
+
 /// The receiver side.
 class Decoder {
  public:
@@ -96,6 +124,16 @@ class Decoder {
   DecodeResult decode(const Frame& frame,
                       DecodeMode mode = DecodeMode::kAuto) const;
 
+  /// Reconstructs a window from whatever the link delivered.  CS
+  /// measurements are democratic, so lost rows of Φ and y are simply
+  /// dropped before the solve (σ shrinks with √(m_eff/m)); samples whose
+  /// low-res packet was lost keep only the trivial full-scale box; a
+  /// whole-CS-train loss falls back to the low-resolution staircase.
+  /// Never throws on any mask combination — only on shape mismatches
+  /// against the config (API misuse).  With everything delivered this is
+  /// bit-identical to decode(frame, kAuto).  Thread-safe like decode().
+  LossyDecodeResult decode_lossy(const LossyWindow& window) const;
+
   /// Dense synthesis dictionary A = Φ·Ψ (columns are measured wavelet
   /// atoms) — the operator coefficient-domain solvers (FISTA, SPGL1,
   /// greedy pursuit) consume.  Built on first use and cached for the
@@ -104,11 +142,24 @@ class Decoder {
   const linalg::Matrix& synthesis_dictionary() const;
 
  private:
+  /// Box [ẋ−dc, ẋ+d−dc] from decoded low-res codes, in the AC domain the
+  /// solver works in.  Shared by the lossless and lossy decode paths so
+  /// they cannot drift numerically.
+  recovery::BoxConstraint box_from_codes(
+      const std::vector<std::int64_t>& codes) const;
+
+  /// The full-Φ solve both decode paths funnel through (per-window
+  /// options, warm start, DC shift).
+  DecodeResult solve_window(const linalg::Vector& y,
+                            std::optional<recovery::BoxConstraint> box) const;
+
   FrontEndConfig config_;
   sensing::RmpiSimulator rmpi_;
   std::optional<sensing::LowResChannel> lowres_;
   std::optional<coding::DeltaHuffmanCodec> codec_;
   dsp::Dwt dwt_;
+  /// Dense Φ, kept for the lossy path's row dropping.
+  linalg::Matrix phi_dense_;
   linalg::LinearOperator phi_;
   /// Ψ as an operator, materialized once (decode used to rebuild it per
   /// window).

@@ -18,20 +18,31 @@ void push_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
   push_u16(out, static_cast<std::uint16_t>(value & 0xFFFF));
 }
 
-std::uint16_t read_u16(const std::vector<std::uint8_t>& bytes,
-                       std::size_t& offset) {
-  CSECG_CHECK(offset + 2 <= bytes.size(), "frame: truncated header");
-  const std::uint16_t value = static_cast<std::uint16_t>(
-      (bytes[offset] << 8) | bytes[offset + 1]);
+/// Bounds-checked big-endian reads for the parse path: each returns false
+/// instead of reading past the buffer, so try_deserialize_frame never
+/// touches out-of-range memory no matter how the input was mangled.
+bool read_u16(const std::vector<std::uint8_t>& bytes, std::size_t& offset,
+              std::uint16_t& out) noexcept {
+  if (bytes.size() - offset < 2) return false;
+  out = static_cast<std::uint16_t>((bytes[offset] << 8) | bytes[offset + 1]);
   offset += 2;
-  return value;
+  return true;
 }
 
-std::uint32_t read_u32(const std::vector<std::uint8_t>& bytes,
-                       std::size_t& offset) {
-  const std::uint32_t hi = read_u16(bytes, offset);
-  const std::uint32_t lo = read_u16(bytes, offset);
-  return (hi << 16) | lo;
+bool read_u32(const std::vector<std::uint8_t>& bytes, std::size_t& offset,
+              std::uint32_t& out) noexcept {
+  std::uint16_t hi = 0;
+  std::uint16_t lo = 0;
+  if (!read_u16(bytes, offset, hi) || !read_u16(bytes, offset, lo)) {
+    return false;
+  }
+  out = (static_cast<std::uint32_t>(hi) << 16) | lo;
+  return true;
+}
+
+std::optional<Frame> parse_failure(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return std::nullopt;
 }
 
 }  // namespace
@@ -72,24 +83,39 @@ std::vector<std::uint8_t> serialize_frame(
   return out;
 }
 
-Frame deserialize_frame(const std::vector<std::uint8_t>& bytes,
-                        const sensing::Quantizer& measurement_adc) {
+std::optional<Frame> try_deserialize_frame(
+    const std::vector<std::uint8_t>& bytes,
+    const sensing::Quantizer& measurement_adc, std::string* error) {
   std::size_t offset = 0;
-  CSECG_CHECK(read_u16(bytes, offset) == kMagic,
-              "deserialize_frame: bad magic");
-  Frame frame;
-  frame.window = read_u16(bytes, offset);
-  const std::size_t m = read_u16(bytes, offset);
-  CSECG_CHECK(offset + 2 <= bytes.size(), "deserialize_frame: truncated");
-  frame.measurement_bits = bytes[offset++];
-  const bool has_lowres = bytes[offset++] != 0;
-  CSECG_CHECK(frame.measurement_bits == measurement_adc.bits(),
-              "deserialize_frame: measurement bit-depth mismatch");
+  std::uint16_t magic = 0;
+  std::uint16_t window = 0;
+  std::uint16_t m = 0;
+  if (!read_u16(bytes, offset, magic) || !read_u16(bytes, offset, window) ||
+      !read_u16(bytes, offset, m) || bytes.size() - offset < 2) {
+    return parse_failure(error, "truncated header");
+  }
+  if (magic != kMagic) return parse_failure(error, "bad magic");
+  if (window == 0) return parse_failure(error, "zero window length");
 
+  Frame frame;
+  frame.window = window;
+  frame.measurement_bits = bytes[offset++];
+  const std::uint8_t lowres_flag = bytes[offset++];
+  if (lowres_flag > 1) return parse_failure(error, "bad low-res flag");
+  if (frame.measurement_bits != measurement_adc.bits()) {
+    return parse_failure(error, "measurement bit-depth mismatch");
+  }
+
+  // m ≤ 0xFFFF and bits ≤ 0xFF, so the bit count fits a size_t with no
+  // overflow on any platform.
   const std::size_t code_bytes =
-      (m * static_cast<std::size_t>(frame.measurement_bits) + 7) / 8;
-  CSECG_CHECK(offset + code_bytes <= bytes.size(),
-              "deserialize_frame: truncated measurements");
+      (static_cast<std::size_t>(m) *
+           static_cast<std::size_t>(frame.measurement_bits) +
+       7) /
+      8;
+  if (bytes.size() - offset < code_bytes) {
+    return parse_failure(error, "truncated measurements");
+  }
   coding::BitReader reader(std::vector<std::uint8_t>(
       bytes.begin() + static_cast<long>(offset),
       bytes.begin() + static_cast<long>(offset + code_bytes)));
@@ -98,22 +124,45 @@ Frame deserialize_frame(const std::vector<std::uint8_t>& bytes,
   for (std::size_t i = 0; i < m; ++i) {
     const auto code =
         static_cast<std::int64_t>(reader.read(frame.measurement_bits));
+    if (code >= measurement_adc.levels()) {
+      return parse_failure(error, "measurement code out of ADC range");
+    }
     frame.measurements[i] = measurement_adc.reconstruct(code);
   }
 
-  if (has_lowres) {
-    frame.lowres_bits = read_u32(bytes, offset);
+  if (lowres_flag != 0) {
+    std::uint32_t lowres_bits = 0;
+    if (!read_u32(bytes, offset, lowres_bits)) {
+      return parse_failure(error, "truncated low-res length");
+    }
+    frame.lowres_bits = lowres_bits;
     const std::size_t payload_bytes = (frame.lowres_bits + 7) / 8;
-    CSECG_CHECK(offset + payload_bytes <= bytes.size(),
-                "deserialize_frame: truncated low-res payload");
+    if (bytes.size() - offset < payload_bytes) {
+      return parse_failure(error, "truncated low-res payload");
+    }
     frame.lowres_payload.assign(
         bytes.begin() + static_cast<long>(offset),
         bytes.begin() + static_cast<long>(offset + payload_bytes));
     offset += payload_bytes;
+    if (frame.lowres_payload.empty()) {
+      return parse_failure(error, "empty low-res payload with flag set");
+    }
   }
-  CSECG_CHECK(offset == bytes.size(),
-              "deserialize_frame: trailing bytes after frame");
+  if (offset != bytes.size()) {
+    return parse_failure(error, "trailing bytes after frame");
+  }
   return frame;
+}
+
+Frame deserialize_frame(const std::vector<std::uint8_t>& bytes,
+                        const sensing::Quantizer& measurement_adc) {
+  std::string error;
+  std::optional<Frame> frame =
+      try_deserialize_frame(bytes, measurement_adc, &error);
+  if (!frame.has_value()) {
+    throw FrameError("deserialize_frame: " + error);
+  }
+  return *std::move(frame);
 }
 
 }  // namespace csecg::core

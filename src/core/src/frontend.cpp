@@ -1,5 +1,7 @@
 #include "csecg/core/frontend.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "csecg/common/check.hpp"
@@ -147,15 +149,14 @@ Decoder::Decoder(FrontEndConfig config,
       lowres_(lowres_from(config_)),
       codec_(std::move(lowres_codec)),
       dwt_(config_.wavelet, config_.window, config_.wavelet_levels),
-      phi_(linalg::LinearOperator::from_matrix(
-          sensing_matrix_for(config_, rmpi_))),
+      phi_dense_(sensing_matrix_for(config_, rmpi_)),
+      phi_(linalg::LinearOperator::from_matrix(phi_dense_)),
       psi_(dwt_.synthesis_operator()) {
   check_codec_consistency(config_, codec_);
   phi_norm_ = linalg::operator_norm_estimate(phi_, 60);
   sigma_ = config_.sigma_scale * rmpi_.expected_quantization_noise_norm();
-  const linalg::Matrix eff = sensing_matrix_for(config_, rmpi_);
   gram_chol_ = std::make_unique<linalg::Cholesky>(
-      linalg::multiply(eff, linalg::transpose(eff)));
+      linalg::multiply(phi_dense_, linalg::transpose(phi_dense_)));
 }
 
 DecodeResult Decoder::decode(const Frame& frame, DecodeMode mode) const {
@@ -188,35 +189,187 @@ DecodeResult Decoder::decode(const Frame& frame, DecodeMode mode) const {
   // reference is a design constant known at both ends, exactly as the
   // baseline sits outside the paper's recovery problem.  The box from the
   // low-resolution channel is shifted into the same domain.
-  const double dc = config_.dc_reference();
   std::optional<recovery::BoxConstraint> box;
   if (use_box) {
-    const std::vector<std::int64_t> codes =
-        codec_->decode(frame.lowres_payload, config_.window);
-    const linalg::Vector lower = lowres_->reconstruct(codes);
-    recovery::BoxConstraint constraint;
-    constraint.lower = lower;
-    constraint.upper = lower;
-    const double step = lowres_->step();
-    for (std::size_t i = 0; i < config_.window; ++i) {
-      constraint.lower[i] -= dc;
-      constraint.upper[i] += step - dc;
-    }
-    box = std::move(constraint);
+    box = box_from_codes(codec_->decode(frame.lowres_payload,
+                                        config_.window));
   }
+  return solve_window(frame.measurements, std::move(box));
+}
 
+recovery::BoxConstraint Decoder::box_from_codes(
+    const std::vector<std::int64_t>& codes) const {
+  const double dc = config_.dc_reference();
+  const linalg::Vector lower = lowres_->reconstruct(codes);
+  recovery::BoxConstraint constraint;
+  constraint.lower = lower;
+  constraint.upper = lower;
+  const double step = lowres_->step();
+  for (std::size_t i = 0; i < config_.window; ++i) {
+    constraint.lower[i] -= dc;
+    constraint.upper[i] += step - dc;
+  }
+  return constraint;
+}
+
+DecodeResult Decoder::solve_window(
+    const linalg::Vector& y,
+    std::optional<recovery::BoxConstraint> box) const {
   recovery::PdhgOptions options = config_.solver;
   options.phi_norm_hint = phi_norm_;
   if (!box) {
     // Least-norm warm start Φᵀ(ΦΦᵀ)⁻¹y: measurement-consistent from
     // iteration zero, so PDHG only has to shrink the ℓ1 objective.
-    options.x0 = phi_.apply_adjoint(gram_chol_->solve(frame.measurements));
+    options.x0 = phi_.apply_adjoint(gram_chol_->solve(y));
   }
 
   DecodeResult result;
-  result.used_box = use_box;
-  result.solver = recovery::solve_bpdn(phi_, psi_, frame.measurements,
-                                       sigma_, box, options);
+  result.used_box = box.has_value();
+  result.solver = recovery::solve_bpdn(phi_, psi_, y, sigma_, box, options);
+  result.x = result.solver.x;
+  const double dc = config_.dc_reference();
+  for (auto& v : result.x) v += dc;
+  return result;
+}
+
+LossyDecodeResult Decoder::decode_lossy(const LossyWindow& window) const {
+  const std::size_t n = config_.window;
+  const std::size_t m = config_.measurements;
+  CSECG_CHECK(window.window == n,
+              "Decoder::decode_lossy: window length " << window.window
+                                                      << " != config "
+                                                      << n);
+  CSECG_CHECK(window.measurements.size() == m &&
+                  window.measurement_mask.size() == m,
+              "Decoder::decode_lossy: measurement fields must have length "
+                  << m);
+  const bool has_lowres_fields = !window.lowres_mask.empty();
+  CSECG_CHECK(!has_lowres_fields || (window.lowres_mask.size() == n &&
+                                     window.lowres_codes.size() == n),
+              "Decoder::decode_lossy: low-res fields must have length "
+                  << n);
+
+  LossyDecodeResult result;
+  for (const std::uint8_t bit : window.measurement_mask) {
+    result.effective_m += (bit != 0);
+  }
+
+  // Sanitize the side channel: a sample only keeps its box when its
+  // packet arrived AND its code is a legal B-bit value (the reassembler
+  // validates, but a CRC collision could still smuggle garbage through —
+  // the decoder must never throw on a lossy stream).
+  const double dc = config_.dc_reference();
+  std::vector<std::int64_t> codes;
+  std::vector<std::uint8_t> code_mask;
+  if (has_lowres_fields && lowres_.has_value()) {
+    const std::int64_t levels = std::int64_t{1} << config_.lowres_bits;
+    codes.assign(n, 0);
+    code_mask.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t code = window.lowres_codes[i];
+      if (window.lowres_mask[i] != 0 && code >= 0 && code < levels) {
+        codes[i] = code;
+        code_mask[i] = 1;
+        ++result.boxed_samples;
+      }
+    }
+  }
+
+  // Whole-CS-train loss: the decoder still owes an output — emit the
+  // low-resolution staircase (cell midpoints), forward-filling samples
+  // whose low-res packets also vanished; with nothing at all, the
+  // flat DC reference.
+  if (result.effective_m == 0) {
+    result.lowres_only = true;
+    result.used_box = false;
+    result.x = linalg::Vector(n);
+    double fill = dc;
+    if (result.boxed_samples > 0) {
+      const double half_step = 0.5 * lowres_->step();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (code_mask[i] != 0) {
+          fill = lowres_->reconstruct({codes[i]})[0] + half_step;
+          break;
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (code_mask[i] != 0) {
+          fill = lowres_->reconstruct({codes[i]})[0] + half_step;
+        }
+        result.x[i] = fill;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) result.x[i] = dc;
+    }
+    return result;
+  }
+
+  // Box constraint: exact cells where the low-res stream arrived, the
+  // trivial full-scale cell where it did not (constraining nothing), no
+  // box at all when the whole side channel is gone.
+  std::optional<recovery::BoxConstraint> box;
+  if (result.boxed_samples == n) {
+    box = box_from_codes(codes);
+  } else if (result.boxed_samples > 0) {
+    recovery::BoxConstraint widened = box_from_codes(codes);
+    const double lo_rail = -dc;
+    const double hi_rail =
+        static_cast<double>(std::int64_t{1} << config_.record_bits) - dc;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (code_mask[i] == 0) {
+        widened.lower[i] = lo_rail;
+        widened.upper[i] = hi_rail;
+      }
+    }
+    box = std::move(widened);
+  }
+  result.used_box = box.has_value();
+
+  if (result.effective_m == m) {
+    // Nothing dropped on the CS side: run the cached-operator path, which
+    // makes the zero-loss link pipeline bit-identical to decode().
+    DecodeResult full = solve_window(window.measurements, std::move(box));
+    result.x = std::move(full.x);
+    result.solver = std::move(full.solver);
+    return result;
+  }
+
+  // Measurement democracy: drop the lost rows of Φ and the matching
+  // entries of y, shrink σ with the surviving row count (the expected
+  // quantization-noise norm scales with √m), and solve the same problem.
+  const std::size_t eff_m = result.effective_m;
+  linalg::Matrix sub(eff_m, n);
+  linalg::Vector y_kept(eff_m);
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (window.measurement_mask[i] == 0) continue;
+    const double* src = phi_dense_.row(i);
+    std::copy(src, src + n, sub.row(row));
+    y_kept[row] = window.measurements[i];
+    ++row;
+  }
+  const linalg::LinearOperator phi_sub =
+      linalg::LinearOperator::from_matrix(sub);
+
+  recovery::PdhgOptions options = config_.solver;
+  // ‖Φ_sub‖₂ ≤ ‖Φ‖₂ for a row submatrix, and PDHG only needs an upper
+  // bound to size its steps, so the cached full-matrix norm serves here.
+  options.phi_norm_hint = phi_norm_;
+  const double sigma_eff =
+      sigma_ * std::sqrt(static_cast<double>(eff_m) /
+                         static_cast<double>(m));
+  if (!box) {
+    try {
+      const linalg::Cholesky chol(
+          linalg::multiply(sub, linalg::transpose(sub)));
+      options.x0 = phi_sub.apply_adjoint(chol.solve(y_kept));
+    } catch (const std::exception&) {
+      // Surviving rows numerically dependent — cold start instead.
+    }
+  }
+
+  result.solver =
+      recovery::solve_bpdn(phi_sub, psi_, y_kept, sigma_eff, box, options);
   result.x = result.solver.x;
   for (auto& v : result.x) v += dc;
   return result;

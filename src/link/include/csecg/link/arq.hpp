@@ -1,0 +1,77 @@
+// ARQ (automatic repeat request) policies over the lossy channel.
+//
+// The whole point of CS telemetry is that retransmission is OPTIONAL:
+// measurements are democratic, so a dropped packet costs a little SNR
+// instead of the window.  The ARQ layer makes that trade explicit —
+// every policy reports exactly how many bits it put on the air, and the
+// power model prices them:
+//
+//   kNone           fire and forget; loss goes to the decoder.
+//   kStopAndWait    per-packet ACK; retransmit up to max_retries with
+//                   exponential backoff.  State machine per packet:
+//                     SEND → WAIT ─ok─→ DONE
+//                              └fail→ BACKOFF → SEND   (≤ max_retries)
+//   kSelectiveRepeat  send a window of packets, read one bitmap ACK,
+//                   retransmit only the failures; up to max_retries
+//                   rounds per window.
+//
+// The simulation collapses the receiver into the loop: a packet "fails"
+// when the channel erases it or the CRC rejects it, which is exactly the
+// information a real NAK would carry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csecg/link/channel.hpp"
+
+namespace csecg::link {
+
+/// Retransmission policy.
+enum class ArqMode {
+  kNone,
+  kStopAndWait,
+  kSelectiveRepeat,
+};
+
+/// ARQ parameters.
+struct ArqConfig {
+  ArqMode mode = ArqMode::kNone;
+  /// Retransmission attempts per packet (stop-and-wait) or extra rounds
+  /// per window (selective repeat).
+  int max_retries = 3;
+  /// Packets per selective-repeat round trip.
+  std::size_t sr_window = 8;
+  /// Air bits of one ACK/NAK feedback frame (RX cost on the node).
+  std::size_t feedback_bits = 64;
+  /// Exponential backoff: first retry waits backoff_base_ms, each further
+  /// retry multiplies by backoff_factor.  Pure latency accounting.
+  double backoff_base_ms = 1.0;
+  double backoff_factor = 2.0;
+};
+
+/// Validates an ArqConfig; throws std::invalid_argument on nonsense.
+void validate(const ArqConfig& config);
+
+/// Per-window link accounting (LinkSession adds the decode-side fields).
+struct LinkStats {
+  std::size_t packets = 0;          ///< Unique packets in the train.
+  std::size_t delivered = 0;        ///< Unique packets that got through.
+  std::size_t dropped = 0;          ///< Unique packets lost for good.
+  std::size_t retransmissions = 0;  ///< Extra transmissions beyond the first.
+  std::size_t crc_failures = 0;     ///< Deliveries rejected by the CRC.
+  std::size_t data_bits = 0;        ///< TX data bits incl. retransmissions.
+  std::size_t feedback_bits = 0;    ///< RX ACK/NAK bits.
+  double backoff_ms = 0.0;          ///< Cumulative backoff latency.
+  std::size_t effective_m = 0;      ///< Φ rows alive at the decoder.
+  std::size_t boxed_samples = 0;    ///< Samples with a live box constraint.
+};
+
+/// Pushes one window's packet train through the channel under the given
+/// policy.  Returns the packets that reached the receiver with a valid
+/// CRC (in train order) and fills the transmission half of `stats`.
+std::vector<std::vector<std::uint8_t>> transmit_packets(
+    const std::vector<std::vector<std::uint8_t>>& packets, Channel& channel,
+    const ArqConfig& arq, LinkStats& stats);
+
+}  // namespace csecg::link

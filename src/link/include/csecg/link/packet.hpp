@@ -1,0 +1,67 @@
+// Over-the-air packet framing for the telemetry link.
+//
+// A serialized Frame never travels as one radio burst: the node's MAC
+// fragments it into MTU-sized packets, each independently decodable so a
+// lost packet costs only its own rows/samples.  Wire layout (big-endian,
+// 14-byte header + payload + 2-byte CRC over header+payload):
+//
+//   [magic u8] [kind u8] [stream u16] [window u16]
+//   [pkt_seq u8] [pkt_count u8] [first u16] [count u16] [payload_bits u16]
+//   [payload bytes...] [crc16 u16]
+//
+// `kind` tags what the payload carries; `first`/`count` locate it inside
+// the window (measurement indices for CS packets, sample indices for
+// low-res packets, byte offsets for codebook blobs), so reassembly needs
+// no packet ordering and tolerates any subset arriving.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace csecg::link {
+
+/// What a packet's payload carries.
+enum class PayloadKind : std::uint8_t {
+  kCsMeasurements = 0,  ///< Quantized CS measurement codes (bit-packed).
+  kLowRes = 1,          ///< Delta-Huffman coded low-res sample range.
+  kCodebook = 2,        ///< Opaque provisioning bytes (codebook shipping).
+};
+
+/// Parsed packet header.
+struct PacketHeader {
+  PayloadKind kind = PayloadKind::kCsMeasurements;
+  std::uint16_t stream_id = 0;    ///< Sensor stream the packet belongs to.
+  std::uint16_t window_seq = 0;   ///< Window sequence number (mod 2^16).
+  std::uint8_t packet_seq = 0;    ///< Index within the window's train.
+  std::uint8_t packet_count = 1;  ///< Train length for the window.
+  std::uint16_t first = 0;        ///< First measurement/sample/byte index.
+  std::uint16_t count = 0;        ///< Measurements/samples/bytes carried.
+  std::uint16_t payload_bits = 0; ///< Exact payload bits before padding.
+};
+
+/// Fixed framing overhead: 14 header bytes + 2 CRC bytes.
+inline constexpr std::size_t kPacketHeaderBytes = 14;
+inline constexpr std::size_t kPacketCrcBytes = 2;
+inline constexpr std::size_t kPacketOverheadBytes =
+    kPacketHeaderBytes + kPacketCrcBytes;
+
+/// A parsed, CRC-verified packet.
+struct Packet {
+  PacketHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Frames header+payload with the magic byte and trailing CRC-16.
+/// Throws std::invalid_argument if the payload exceeds the format's
+/// 16-bit bit-count field.
+std::vector<std::uint8_t> serialize_packet(
+    const PacketHeader& header, const std::vector<std::uint8_t>& payload);
+
+/// Parses one packet: checks the magic byte, structural consistency
+/// (declared payload size vs. actual bytes) and the CRC.  Returns
+/// std::nullopt on any damage — never throws, never reads out of bounds.
+std::optional<Packet> parse_packet(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace csecg::link

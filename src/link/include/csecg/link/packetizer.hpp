@@ -1,0 +1,110 @@
+// Content-aware fragmentation of a Frame into link packets, and the
+// matching reassembly into a core::LossyWindow.
+//
+// The split respects decode boundaries so every packet is independently
+// useful:
+//  * CS measurements are bit-packed ADC codes; a packet carries a
+//    contiguous index range [first, first+count) and its loss removes
+//    exactly those rows of Φ (measurement democracy does the rest).
+//  * The low-resolution stream is delta-Huffman coded, which is
+//    sequential — a mid-stream gap would destroy everything after it.
+//    The packetizer therefore re-chunks the stream: each packet holds an
+//    independently decodable range (raw first code + coded deltas), sized
+//    greedily against the MTU with the codebook's exact bit costs.  The
+//    per-packet raw restart is the framing tax a real node would pay for
+//    loss containment.
+//  * Codebook provisioning blobs ship as opaque byte ranges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "csecg/coding/delta_huffman_codec.hpp"
+#include "csecg/core/frame.hpp"
+#include "csecg/core/frontend.hpp"
+#include "csecg/link/packet.hpp"
+#include "csecg/sensing/quantizer.hpp"
+
+namespace csecg::link {
+
+/// Fragmentation knobs.
+struct PacketizerConfig {
+  /// Total packet size cap, header and CRC included (BLE-class radios sit
+  /// between 27 and 251 bytes).
+  std::size_t mtu_bytes = 64;
+  std::uint16_t stream_id = 1;
+};
+
+/// Validates a PacketizerConfig against the frame geometry it must carry;
+/// throws std::invalid_argument when the MTU cannot fit one measurement.
+void validate(const PacketizerConfig& config, int measurement_bits,
+              int lowres_code_bits);
+
+/// Sensor-side fragmenter.
+class Packetizer {
+ public:
+  /// `measurement_adc` is the CS channel's quantizer (shared design
+  /// knowledge, same as serialize_frame); the codec is required iff
+  /// frames carry a low-resolution payload.
+  Packetizer(PacketizerConfig config, sensing::Quantizer measurement_adc,
+             std::optional<coding::DeltaHuffmanCodec> lowres_codec);
+
+  const PacketizerConfig& config() const noexcept { return config_; }
+
+  /// Splits one frame into its packet train (serialized, CRC-framed).
+  /// Throws std::invalid_argument if the frame shape does not fit the
+  /// header fields (e.g. > 255 packets per window).
+  std::vector<std::vector<std::uint8_t>> packetize(
+      const core::Frame& frame, std::uint16_t window_seq) const;
+
+  /// Splits an opaque provisioning blob (e.g. a serialized codebook) into
+  /// kCodebook packets.
+  std::vector<std::vector<std::uint8_t>> packetize_blob(
+      const std::vector<std::uint8_t>& blob, std::uint16_t window_seq) const;
+
+ private:
+  PacketizerConfig config_;
+  sensing::Quantizer measurement_adc_;
+  std::optional<coding::DeltaHuffmanCodec> codec_;
+};
+
+/// What reassembly recovered for one window, plus link accounting.
+struct ReassemblyResult {
+  core::LossyWindow window;
+  std::size_t packets_accepted = 0;
+  /// Packets that failed parsing, CRC, or semantic validation (bad
+  /// indices / illegal codes behind a colliding CRC).
+  std::size_t packets_rejected = 0;
+};
+
+/// Receiver-side defragmenter.  Stateless per window: feed it whatever
+/// subset of the train the channel delivered, in any order.
+class Reassembler {
+ public:
+  Reassembler(std::size_t measurements, std::size_t window,
+              sensing::Quantizer measurement_adc,
+              std::optional<coding::DeltaHuffmanCodec> lowres_codec,
+              std::uint16_t stream_id);
+
+  /// Rebuilds the lossy window from delivered packet bytes.  Damaged or
+  /// foreign packets are dropped, never fatal; duplicated packets simply
+  /// overwrite their own range.
+  ReassemblyResult reassemble(
+      std::uint16_t window_seq,
+      const std::vector<std::vector<std::uint8_t>>& delivered) const;
+
+  /// Reassembles a kCodebook blob train; nullopt unless every byte range
+  /// of the blob arrived intact.
+  static std::optional<std::vector<std::uint8_t>> reassemble_blob(
+      const std::vector<std::vector<std::uint8_t>>& delivered);
+
+ private:
+  std::size_t measurements_;
+  std::size_t window_;
+  sensing::Quantizer measurement_adc_;
+  std::optional<coding::DeltaHuffmanCodec> codec_;
+  std::uint16_t stream_id_;
+};
+
+}  // namespace csecg::link

@@ -1,0 +1,121 @@
+#include "csecg/link/arq.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "csecg/common/check.hpp"
+#include "csecg/link/packet.hpp"
+
+namespace csecg::link {
+namespace {
+
+/// One attempt: channel impairment, then the receiver's CRC gate.
+/// Returns the delivered bytes only when they parse cleanly.
+std::optional<std::vector<std::uint8_t>> attempt(
+    const std::vector<std::uint8_t>& packet, Channel& channel,
+    LinkStats& stats) {
+  std::vector<std::uint8_t> bytes = packet;
+  stats.data_bits += bytes.size() * 8;
+  if (!channel.transmit(bytes)) return std::nullopt;
+  if (!parse_packet(bytes).has_value()) {
+    ++stats.crc_failures;
+    return std::nullopt;
+  }
+  return bytes;
+}
+
+double backoff_for_retry(const ArqConfig& arq, int retry) {
+  double wait = arq.backoff_base_ms;
+  for (int i = 1; i < retry; ++i) wait *= arq.backoff_factor;
+  return wait;
+}
+
+}  // namespace
+
+void validate(const ArqConfig& config) {
+  CSECG_CHECK(config.max_retries >= 0,
+              "ArqConfig: max_retries must be non-negative");
+  CSECG_CHECK(config.mode != ArqMode::kSelectiveRepeat ||
+                  config.sr_window > 0,
+              "ArqConfig: selective repeat needs a positive window");
+  CSECG_CHECK(config.backoff_base_ms >= 0.0 && config.backoff_factor >= 1.0,
+              "ArqConfig: backoff must be non-negative and non-shrinking");
+}
+
+std::vector<std::vector<std::uint8_t>> transmit_packets(
+    const std::vector<std::vector<std::uint8_t>>& packets, Channel& channel,
+    const ArqConfig& arq, LinkStats& stats) {
+  validate(arq);
+  stats.packets += packets.size();
+  std::vector<std::vector<std::uint8_t>> received;
+  received.reserve(packets.size());
+
+  switch (arq.mode) {
+    case ArqMode::kNone: {
+      for (const auto& packet : packets) {
+        if (auto bytes = attempt(packet, channel, stats)) {
+          received.push_back(*std::move(bytes));
+          ++stats.delivered;
+        } else {
+          ++stats.dropped;
+        }
+      }
+      break;
+    }
+    case ArqMode::kStopAndWait: {
+      for (const auto& packet : packets) {
+        bool done = false;
+        for (int try_index = 0; try_index <= arq.max_retries; ++try_index) {
+          // Every attempt earns one ACK/NAK from the receiver.
+          stats.feedback_bits += arq.feedback_bits;
+          if (try_index > 0) {
+            ++stats.retransmissions;
+            stats.backoff_ms += backoff_for_retry(arq, try_index);
+          }
+          if (auto bytes = attempt(packet, channel, stats)) {
+            received.push_back(*std::move(bytes));
+            ++stats.delivered;
+            done = true;
+            break;
+          }
+        }
+        if (!done) ++stats.dropped;
+      }
+      break;
+    }
+    case ArqMode::kSelectiveRepeat: {
+      for (std::size_t base = 0; base < packets.size();
+           base += arq.sr_window) {
+        const std::size_t group_end =
+            std::min(base + arq.sr_window, packets.size());
+        std::vector<std::size_t> pending;
+        for (std::size_t i = base; i < group_end; ++i) pending.push_back(i);
+
+        for (int round = 0; round <= arq.max_retries && !pending.empty();
+             ++round) {
+          // One bitmap ACK per round trip covers the whole group.
+          stats.feedback_bits += arq.feedback_bits;
+          if (round > 0) {
+            stats.retransmissions += pending.size();
+            stats.backoff_ms += backoff_for_retry(arq, round);
+          }
+          std::vector<std::size_t> still_missing;
+          for (const std::size_t i : pending) {
+            if (auto bytes = attempt(packets[i], channel, stats)) {
+              received.push_back(*std::move(bytes));
+              ++stats.delivered;
+            } else {
+              still_missing.push_back(i);
+            }
+          }
+          pending = std::move(still_missing);
+        }
+        stats.dropped += pending.size();
+      }
+      break;
+    }
+  }
+  return received;
+}
+
+}  // namespace csecg::link

@@ -1,0 +1,40 @@
+#include "csecg/link/crc16.hpp"
+
+#include <array>
+
+namespace csecg::link {
+namespace {
+
+constexpr std::uint16_t kPoly = 0x1021;
+
+constexpr std::array<std::uint16_t, 256> make_table() {
+  std::array<std::uint16_t, 256> table{};
+  for (int byte = 0; byte < 256; ++byte) {
+    std::uint16_t crc = static_cast<std::uint16_t>(byte << 8);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = static_cast<std::uint16_t>(
+          (crc & 0x8000) ? (crc << 1) ^ kPoly : (crc << 1));
+    }
+    table[static_cast<std::size_t>(byte)] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint16_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint16_t crc16_ccitt_update(std::uint16_t crc, const std::uint8_t* data,
+                                 std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = static_cast<std::uint16_t>(
+        (crc << 8) ^ kTable[((crc >> 8) ^ data[i]) & 0xFF]);
+  }
+  return crc;
+}
+
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size) {
+  return crc16_ccitt_update(0xFFFF, data, size);
+}
+
+}  // namespace csecg::link

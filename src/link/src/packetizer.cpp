@@ -1,0 +1,310 @@
+#include "csecg/link/packetizer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "csecg/coding/bitstream.hpp"
+#include "csecg/common/check.hpp"
+
+namespace csecg::link {
+namespace {
+
+std::size_t payload_budget_bits(const PacketizerConfig& config) {
+  return (config.mtu_bytes - kPacketOverheadBytes) * 8;
+}
+
+}  // namespace
+
+void validate(const PacketizerConfig& config, int measurement_bits,
+              int lowres_code_bits) {
+  CSECG_CHECK(config.mtu_bytes > kPacketOverheadBytes,
+              "PacketizerConfig: mtu " << config.mtu_bytes
+                                       << " bytes leaves no payload room");
+  CSECG_CHECK(config.mtu_bytes <= 2048,
+              "PacketizerConfig: mtu exceeds the 16-bit bit-count format");
+  const std::size_t budget = payload_budget_bits(config);
+  CSECG_CHECK(measurement_bits <= 0 ||
+                  budget >= static_cast<std::size_t>(measurement_bits),
+              "PacketizerConfig: mtu cannot fit one measurement code");
+  CSECG_CHECK(lowres_code_bits <= 0 ||
+                  budget >= static_cast<std::size_t>(lowres_code_bits),
+              "PacketizerConfig: mtu cannot fit one low-res code");
+}
+
+Packetizer::Packetizer(PacketizerConfig config,
+                       sensing::Quantizer measurement_adc,
+                       std::optional<coding::DeltaHuffmanCodec> lowres_codec)
+    : config_(config),
+      measurement_adc_(std::move(measurement_adc)),
+      codec_(std::move(lowres_codec)) {
+  validate(config_, measurement_adc_.bits(),
+           codec_ ? codec_->code_bits() : 0);
+}
+
+std::vector<std::vector<std::uint8_t>> Packetizer::packetize(
+    const core::Frame& frame, std::uint16_t window_seq) const {
+  CSECG_CHECK(frame.measurement_bits == measurement_adc_.bits(),
+              "Packetizer: frame carries " << frame.measurement_bits
+                                           << "-bit measurements, ADC has "
+                                           << measurement_adc_.bits());
+  CSECG_CHECK(frame.window > 0 && frame.window <= 0xFFFF &&
+                  frame.measurements.size() <= 0xFFFF,
+              "Packetizer: frame shape exceeds the header format");
+  CSECG_CHECK(frame.lowres_payload.empty() || codec_.has_value(),
+              "Packetizer: frame has a low-res payload but no codec given");
+
+  const std::size_t budget = payload_budget_bits(config_);
+  const auto bits =
+      static_cast<std::size_t>(frame.measurement_bits);
+  const std::size_t m = frame.measurements.size();
+
+  struct Chunk {
+    PayloadKind kind;
+    std::size_t first;
+    std::size_t count;
+  };
+  std::vector<Chunk> chunks;
+
+  // CS measurements: fixed-width codes, so the split is arithmetic.
+  const std::size_t per_packet = std::max<std::size_t>(budget / bits, 1);
+  for (std::size_t first = 0; first < m; first += per_packet) {
+    chunks.push_back({PayloadKind::kCsMeasurements, first,
+                      std::min(per_packet, m - first)});
+  }
+
+  // Low-res stream: greedy ranges against the codebook's exact bit costs.
+  // Each range restarts with a raw B-bit code, so it decodes on its own.
+  std::vector<std::int64_t> codes;
+  if (!frame.lowres_payload.empty()) {
+    codes = codec_->decode(frame.lowres_payload, frame.window);
+    const auto code_bits = static_cast<std::size_t>(codec_->code_bits());
+    const std::size_t escape_cost =
+        static_cast<std::size_t>(
+            codec_->codebook().code_length(codec_->escape_symbol())) +
+        code_bits + 1;
+    std::size_t first = 0;
+    while (first < codes.size()) {
+      std::size_t used = code_bits;  // Raw restart code.
+      std::size_t end = first + 1;
+      while (end < codes.size()) {
+        const std::int64_t diff = codes[end] - codes[end - 1];
+        const std::size_t cost =
+            codec_->codebook().contains(diff)
+                ? static_cast<std::size_t>(
+                      codec_->codebook().code_length(diff))
+                : escape_cost;
+        if (used + cost > budget) break;
+        used += cost;
+        ++end;
+      }
+      chunks.push_back({PayloadKind::kLowRes, first, end - first});
+      first = end;
+    }
+  }
+
+  CSECG_CHECK(chunks.size() <= 0xFF,
+              "Packetizer: window needs " << chunks.size()
+                                          << " packets, format caps at 255");
+
+  std::vector<std::vector<std::uint8_t>> train;
+  train.reserve(chunks.size());
+  for (std::size_t p = 0; p < chunks.size(); ++p) {
+    const Chunk& chunk = chunks[p];
+    PacketHeader header;
+    header.kind = chunk.kind;
+    header.stream_id = config_.stream_id;
+    header.window_seq = window_seq;
+    header.packet_seq = static_cast<std::uint8_t>(p);
+    header.packet_count = static_cast<std::uint8_t>(chunks.size());
+    header.first = static_cast<std::uint16_t>(chunk.first);
+    header.count = static_cast<std::uint16_t>(chunk.count);
+
+    std::vector<std::uint8_t> payload;
+    std::size_t payload_bits = 0;
+    if (chunk.kind == PayloadKind::kCsMeasurements) {
+      coding::BitWriter writer;
+      for (std::size_t i = 0; i < chunk.count; ++i) {
+        writer.write(static_cast<std::uint64_t>(measurement_adc_.code(
+                         frame.measurements[chunk.first + i])),
+                     frame.measurement_bits);
+      }
+      payload_bits = writer.bit_count();
+      payload = writer.finish();
+    } else {
+      const std::vector<std::int64_t> range(
+          codes.begin() + static_cast<long>(chunk.first),
+          codes.begin() + static_cast<long>(chunk.first + chunk.count));
+      payload = codec_->encode(range, payload_bits);
+    }
+    header.payload_bits = static_cast<std::uint16_t>(payload_bits);
+    train.push_back(serialize_packet(header, payload));
+  }
+  return train;
+}
+
+std::vector<std::vector<std::uint8_t>> Packetizer::packetize_blob(
+    const std::vector<std::uint8_t>& blob, std::uint16_t window_seq) const {
+  CSECG_CHECK(!blob.empty(), "Packetizer: empty provisioning blob");
+  CSECG_CHECK(blob.size() <= 0xFFFF,
+              "Packetizer: blob exceeds the 16-bit offset format");
+  const std::size_t per_packet = payload_budget_bits(config_) / 8;
+  const std::size_t count = (blob.size() + per_packet - 1) / per_packet;
+  CSECG_CHECK(count <= 0xFF, "Packetizer: blob needs more than 255 packets");
+
+  std::vector<std::vector<std::uint8_t>> train;
+  train.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    const std::size_t first = p * per_packet;
+    const std::size_t size = std::min(per_packet, blob.size() - first);
+    PacketHeader header;
+    header.kind = PayloadKind::kCodebook;
+    header.stream_id = config_.stream_id;
+    header.window_seq = window_seq;
+    header.packet_seq = static_cast<std::uint8_t>(p);
+    header.packet_count = static_cast<std::uint8_t>(count);
+    header.first = static_cast<std::uint16_t>(first);
+    header.count = static_cast<std::uint16_t>(size);
+    header.payload_bits = static_cast<std::uint16_t>(size * 8);
+    train.push_back(serialize_packet(
+        header, std::vector<std::uint8_t>(
+                    blob.begin() + static_cast<long>(first),
+                    blob.begin() + static_cast<long>(first + size))));
+  }
+  return train;
+}
+
+// ---------------------------------------------------------------------------
+// Reassembler.
+
+Reassembler::Reassembler(std::size_t measurements, std::size_t window,
+                         sensing::Quantizer measurement_adc,
+                         std::optional<coding::DeltaHuffmanCodec> lowres_codec,
+                         std::uint16_t stream_id)
+    : measurements_(measurements),
+      window_(window),
+      measurement_adc_(std::move(measurement_adc)),
+      codec_(std::move(lowres_codec)),
+      stream_id_(stream_id) {
+  CSECG_CHECK(measurements_ > 0 && window_ > 0,
+              "Reassembler: degenerate frame geometry");
+}
+
+ReassemblyResult Reassembler::reassemble(
+    std::uint16_t window_seq,
+    const std::vector<std::vector<std::uint8_t>>& delivered) const {
+  ReassemblyResult result;
+  core::LossyWindow& out = result.window;
+  out.window = window_;
+  out.measurements = linalg::Vector(measurements_);
+  out.measurement_mask.assign(measurements_, 0);
+  if (codec_.has_value()) {
+    out.lowres_codes.assign(window_, 0);
+    out.lowres_mask.assign(window_, 0);
+  }
+
+  const auto bits = static_cast<std::size_t>(measurement_adc_.bits());
+  for (const auto& bytes : delivered) {
+    const std::optional<Packet> parsed = parse_packet(bytes);
+    if (!parsed.has_value() || parsed->header.stream_id != stream_id_ ||
+        parsed->header.window_seq != window_seq) {
+      ++result.packets_rejected;
+      continue;
+    }
+    const PacketHeader& header = parsed->header;
+    const std::size_t first = header.first;
+    const std::size_t count = header.count;
+
+    if (header.kind == PayloadKind::kCsMeasurements) {
+      if (count == 0 || first + count > measurements_ ||
+          header.payload_bits != count * bits) {
+        ++result.packets_rejected;
+        continue;
+      }
+      coding::BitReader reader(parsed->payload);
+      std::vector<std::int64_t> codes(count);
+      bool valid = true;
+      for (std::size_t i = 0; i < count; ++i) {
+        codes[i] = static_cast<std::int64_t>(
+            reader.read(measurement_adc_.bits()));
+        if (codes[i] >= measurement_adc_.levels()) {
+          valid = false;
+          break;
+        }
+      }
+      if (!valid) {
+        ++result.packets_rejected;
+        continue;
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        out.measurements[first + i] = measurement_adc_.reconstruct(codes[i]);
+        out.measurement_mask[first + i] = 1;
+      }
+      ++result.packets_accepted;
+    } else if (header.kind == PayloadKind::kLowRes) {
+      if (!codec_.has_value() || count == 0 || first + count > window_) {
+        ++result.packets_rejected;
+        continue;
+      }
+      std::vector<std::int64_t> codes;
+      try {
+        codes = codec_->decode(parsed->payload, count);
+      } catch (const std::exception&) {
+        // A CRC collision let a mangled range through — drop it.
+        ++result.packets_rejected;
+        continue;
+      }
+      const std::int64_t levels = std::int64_t{1} << codec_->code_bits();
+      const bool valid =
+          std::all_of(codes.begin(), codes.end(), [levels](std::int64_t c) {
+            return c >= 0 && c < levels;
+          });
+      if (!valid) {
+        ++result.packets_rejected;
+        continue;
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        out.lowres_codes[first + i] = codes[i];
+        out.lowres_mask[first + i] = 1;
+      }
+      ++result.packets_accepted;
+    } else {
+      // Provisioning traffic is not part of a window; count it accepted
+      // so ARQ accounting stays consistent, but contribute nothing.
+      ++result.packets_accepted;
+    }
+  }
+  return result;
+}
+
+std::optional<std::vector<std::uint8_t>> Reassembler::reassemble_blob(
+    const std::vector<std::vector<std::uint8_t>>& delivered) {
+  std::vector<Packet> parts;
+  for (const auto& bytes : delivered) {
+    std::optional<Packet> parsed = parse_packet(bytes);
+    if (parsed.has_value() &&
+        parsed->header.kind == PayloadKind::kCodebook) {
+      parts.push_back(*std::move(parsed));
+    }
+  }
+  if (parts.empty()) return std::nullopt;
+  const std::uint8_t expected = parts.front().header.packet_count;
+  std::sort(parts.begin(), parts.end(),
+            [](const Packet& a, const Packet& b) {
+              return a.header.first < b.header.first;
+            });
+  std::vector<std::uint8_t> blob;
+  std::size_t offset = 0;
+  for (const Packet& part : parts) {
+    if (part.header.packet_count != expected ||
+        part.header.first != offset ||
+        part.payload.size() != part.header.count) {
+      return std::nullopt;
+    }
+    blob.insert(blob.end(), part.payload.begin(), part.payload.end());
+    offset += part.header.count;
+  }
+  if (parts.size() != expected) return std::nullopt;
+  return blob;
+}
+
+}  // namespace csecg::link

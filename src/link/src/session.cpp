@@ -1,0 +1,204 @@
+#include "csecg/link/session.hpp"
+
+#include <utility>
+
+#include "csecg/common/check.hpp"
+#include "csecg/metrics/quality.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::link {
+namespace {
+
+Packetizer make_packetizer(const core::Encoder& encoder,
+                           const LinkSessionConfig& link,
+                           const std::optional<coding::DeltaHuffmanCodec>&
+                               lowres_codec) {
+  CSECG_CHECK(encoder.measurement_adc().has_value(),
+              "LinkSession: the front-end needs a measurement ADC "
+              "(measurement_adc_bits > 0) to packetize frames");
+  return Packetizer(link.packetizer, *encoder.measurement_adc(),
+                    lowres_codec);
+}
+
+Reassembler make_reassembler(const core::Encoder& encoder,
+                             const LinkSessionConfig& link,
+                             const std::optional<coding::DeltaHuffmanCodec>&
+                                 lowres_codec) {
+  const core::FrontEndConfig& config = encoder.config();
+  return Reassembler(config.measurements, config.window,
+                     *encoder.measurement_adc(), lowres_codec,
+                     link.packetizer.stream_id);
+}
+
+power::NodeEnergy price_window(const core::FrontEndConfig& config,
+                               const LinkSessionConfig& link,
+                               const LinkStats& stats) {
+  power::RmpiDesign cs_path;
+  cs_path.channels = config.measurements;
+  cs_path.window = config.window;
+  cs_path.adc_bits = config.measurement_adc_bits;
+  cs_path.nyquist_hz = link.nyquist_hz;
+  const double window_seconds =
+      static_cast<double>(config.window) / link.nyquist_hz;
+  if (config.lowres_bits > 0) {
+    power::HybridDesign design;
+    design.cs_path = cs_path;
+    design.lowres_bits = config.lowres_bits;
+    return power::link_window_energy(design, link.tech, link.node,
+                                     stats.data_bits, stats.feedback_bits,
+                                     window_seconds);
+  }
+  return power::link_window_energy(cs_path, link.tech, link.node,
+                                   stats.data_bits, stats.feedback_bits,
+                                   window_seconds);
+}
+
+}  // namespace
+
+LinkSession::LinkSession(core::FrontEndConfig config,
+                         std::optional<coding::DeltaHuffmanCodec> lowres_codec,
+                         LinkSessionConfig link)
+    : encoder_(config, lowres_codec),
+      decoder_(config, lowres_codec),
+      link_(std::move(link)),
+      packetizer_(make_packetizer(encoder_, link_, lowres_codec)),
+      reassembler_(make_reassembler(encoder_, link_, lowres_codec)) {
+  validate(link_.channel);
+  validate(link_.arq);
+  power::validate(link_.tech);
+  power::validate(link_.node);
+  CSECG_CHECK(link_.nyquist_hz > 0.0,
+              "LinkSessionConfig: nyquist_hz must be positive");
+}
+
+std::uint64_t LinkSession::channel_seed(std::uint32_t sequence) const noexcept {
+  // SplitMix64 substream derivation: mix the base seed first so nearby
+  // configured seeds do not produce nearby substreams, then fold in the
+  // stream identity and the window sequence.
+  std::uint64_t state = link_.channel.seed;
+  state = rng::splitmix64(state);
+  state ^= (static_cast<std::uint64_t>(link_.packetizer.stream_id) << 32) ^
+           static_cast<std::uint64_t>(sequence);
+  return rng::splitmix64(state);
+}
+
+WindowResult LinkSession::transmit_window(const linalg::Vector& window,
+                                          std::uint32_t sequence) const {
+  const core::Frame frame = encoder_.encode(window);
+  const auto window_seq = static_cast<std::uint16_t>(sequence & 0xFFFFu);
+  const auto packets = packetizer_.packetize(frame, window_seq);
+
+  WindowResult out;
+  Channel channel(link_.channel, channel_seed(sequence));
+  const auto delivered =
+      transmit_packets(packets, channel, link_.arq, out.stats);
+  const ReassemblyResult reassembled =
+      reassembler_.reassemble(window_seq, delivered);
+
+  out.decoded = decoder_.decode_lossy(reassembled.window);
+  out.stats.effective_m = out.decoded.effective_m;
+  out.stats.boxed_samples = out.decoded.boxed_samples;
+  out.energy = price_window(encoder_.config(), link_, out.stats);
+  return out;
+}
+
+LinkRecordReport run_link_record(const LinkSession& session,
+                                 const ecg::EcgRecord& record,
+                                 std::size_t window_count,
+                                 std::uint32_t base_sequence,
+                                 parallel::ThreadPool& pool) {
+  CSECG_CHECK(window_count > 0,
+              "run_link_record: window_count must be positive");
+  const core::FrontEndConfig& config = session.config();
+  const auto windows =
+      ecg::extract_windows(record, config.window, window_count);
+
+  LinkRecordReport report;
+  report.record_name = record.name;
+
+  // Pre-sized slots + per-window channel substreams: the loss pattern and
+  // hence the report are identical for any pool size (see run_record).
+  report.windows.resize(windows.size());
+  pool.parallel_for(0, windows.size(), [&](std::size_t w) {
+    const WindowResult result = session.transmit_window(
+        windows[w], base_sequence + static_cast<std::uint32_t>(w));
+
+    LinkWindowMetrics m;
+    m.prd = metrics::prd_zero_mean(windows[w], result.decoded.x);
+    m.snr = metrics::snr_from_prd(m.prd);
+    m.stats = result.stats;
+    m.energy_j = result.energy.total();
+    m.lowres_only = result.decoded.lowres_only;
+    m.converged = result.decoded.solver.converged;
+    report.windows[w] = m;
+  });
+
+  double prd_sum = 0.0;
+  double snr_sum = 0.0;
+  double energy_sum = 0.0;
+  std::size_t sent = 0;
+  std::size_t delivered = 0;
+  for (const auto& m : report.windows) {
+    prd_sum += m.prd;
+    snr_sum += m.snr;
+    energy_sum += m.energy_j;
+    sent += m.stats.packets;
+    delivered += m.stats.delivered;
+    report.retransmissions += m.stats.retransmissions;
+    if (m.lowres_only) ++report.lowres_only_windows;
+  }
+  const auto count = static_cast<double>(report.windows.size());
+  report.mean_prd = prd_sum / count;
+  report.mean_snr = snr_sum / count;
+  report.mean_energy_j = energy_sum / count;
+  report.delivery_rate =
+      sent == 0 ? 1.0
+                : static_cast<double>(delivered) / static_cast<double>(sent);
+  return report;
+}
+
+LinkRecordReport run_link_record(const LinkSession& session,
+                                 const ecg::EcgRecord& record,
+                                 std::size_t window_count,
+                                 std::uint32_t base_sequence) {
+  return run_link_record(session, record, window_count, base_sequence,
+                         parallel::global_pool());
+}
+
+std::vector<LinkRecordReport> run_link_database(
+    const LinkSession& session, const ecg::SyntheticDatabase& database,
+    std::size_t record_count, std::size_t windows_per_record,
+    parallel::ThreadPool& pool) {
+  CSECG_CHECK(record_count > 0 && record_count <= database.size(),
+              "run_link_database: record_count out of range");
+  std::vector<LinkRecordReport> reports(record_count);
+  pool.parallel_for(0, record_count, [&](std::size_t r) {
+    const auto base = static_cast<std::uint32_t>(r * windows_per_record);
+    reports[r] = run_link_record(session, database.record(r),
+                                 windows_per_record, base, pool);
+  });
+  return reports;
+}
+
+std::vector<LinkRecordReport> run_link_database(
+    const LinkSession& session, const ecg::SyntheticDatabase& database,
+    std::size_t record_count, std::size_t windows_per_record) {
+  return run_link_database(session, database, record_count,
+                           windows_per_record, parallel::global_pool());
+}
+
+double averaged_link_snr(const std::vector<LinkRecordReport>& reports) {
+  CSECG_CHECK(!reports.empty(), "averaged_link_snr: no reports");
+  double sum = 0.0;
+  for (const auto& r : reports) sum += r.mean_snr;
+  return sum / static_cast<double>(reports.size());
+}
+
+double averaged_link_energy(const std::vector<LinkRecordReport>& reports) {
+  CSECG_CHECK(!reports.empty(), "averaged_link_energy: no reports");
+  double sum = 0.0;
+  for (const auto& r : reports) sum += r.mean_energy_j;
+  return sum / static_cast<double>(reports.size());
+}
+
+}  // namespace csecg::link

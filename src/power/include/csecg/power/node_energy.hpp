@@ -19,6 +19,7 @@ namespace csecg::power {
 struct NodeEnergyParams {
   double radio_nj_per_bit = 50.0;  ///< TX energy per air bit.
   double mcu_nj_per_coded_bit = 2.0;  ///< Huffman/packing digital cost.
+  double radio_rx_nj_per_bit = 35.0;  ///< RX energy per feedback (ACK) bit.
 };
 
 /// Validates NodeEnergyParams; throws std::invalid_argument on negatives.
@@ -45,6 +46,23 @@ NodeEnergy window_energy(const RmpiDesign& design,
                          const TechnologyParams& tech,
                          const NodeEnergyParams& node,
                          std::size_t air_bits, double window_seconds);
+
+/// Per-window energy over a lossy telemetry link: `tx_bits` put on the
+/// air (first transmissions + ARQ retransmissions) and `rx_bits` of
+/// ACK/NAK feedback the node had to receive.  This is where a
+/// retransmission policy becomes a power number.
+NodeEnergy link_window_energy(const HybridDesign& design,
+                              const TechnologyParams& tech,
+                              const NodeEnergyParams& node,
+                              std::size_t tx_bits, std::size_t rx_bits,
+                              double window_seconds);
+
+/// Same for a plain RMPI design (no side channel).
+NodeEnergy link_window_energy(const RmpiDesign& design,
+                              const TechnologyParams& tech,
+                              const NodeEnergyParams& node,
+                              std::size_t tx_bits, std::size_t rx_bits,
+                              double window_seconds);
 
 /// Average node power in watts given per-window energy and duration.
 double average_power(const NodeEnergy& energy, double window_seconds);

@@ -21,7 +21,8 @@ NodeEnergy assemble(double analog_watts, const NodeEnergyParams& node,
 
 void validate(const NodeEnergyParams& params) {
   CSECG_CHECK(params.radio_nj_per_bit >= 0.0 &&
-                  params.mcu_nj_per_coded_bit >= 0.0,
+                  params.mcu_nj_per_coded_bit >= 0.0 &&
+                  params.radio_rx_nj_per_bit >= 0.0,
               "NodeEnergyParams: energies must be non-negative");
 }
 
@@ -41,6 +42,39 @@ NodeEnergy window_energy(const RmpiDesign& design,
   validate(node);
   return assemble(rmpi_power(design, tech).total(), node, air_bits,
                   window_seconds);
+}
+
+namespace {
+
+NodeEnergy assemble_link(double analog_watts, const NodeEnergyParams& node,
+                         std::size_t tx_bits, std::size_t rx_bits,
+                         double window_seconds) {
+  NodeEnergy out = assemble(analog_watts, node, tx_bits, window_seconds);
+  out.radio +=
+      static_cast<double>(rx_bits) * node.radio_rx_nj_per_bit * 1e-9;
+  return out;
+}
+
+}  // namespace
+
+NodeEnergy link_window_energy(const HybridDesign& design,
+                              const TechnologyParams& tech,
+                              const NodeEnergyParams& node,
+                              std::size_t tx_bits, std::size_t rx_bits,
+                              double window_seconds) {
+  validate(node);
+  return assemble_link(hybrid_power(design, tech).total(), node, tx_bits,
+                       rx_bits, window_seconds);
+}
+
+NodeEnergy link_window_energy(const RmpiDesign& design,
+                              const TechnologyParams& tech,
+                              const NodeEnergyParams& node,
+                              std::size_t tx_bits, std::size_t rx_bits,
+                              double window_seconds) {
+  validate(node);
+  return assemble_link(rmpi_power(design, tech).total(), node, tx_bits,
+                       rx_bits, window_seconds);
 }
 
 double average_power(const NodeEnergy& energy, double window_seconds) {
