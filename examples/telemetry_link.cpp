@@ -13,6 +13,7 @@
 #include <cstdlib>
 
 #include "csecg/link/session.hpp"
+#include "csecg/obs/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace csecg;
@@ -61,6 +62,10 @@ int main(int argc, char** argv) {
 
     const link::LinkRecordReport report = link::run_link_record(
         session, database.record(record_index), windows, 0);
+    if (report.non_converged_windows > 0) {
+      std::printf("# warning: %zu/%zu solves hit the iteration cap\n",
+                  report.non_converged_windows, report.solved_windows);
+    }
 
     double radio_j = 0.0;
     double total_j = 0.0;
@@ -94,5 +99,9 @@ int main(int argc, char** argv) {
       reference, database.record(record_index), windows, 0);
   std::printf("%.2f dB at %.2f uJ/window\n", clean.mean_snr,
               clean.mean_energy_j * 1e6);
+
+  // Everything the run recorded — solver convergence, ARQ rounds, stage
+  // timings — in one scrape (pipe through `jq` for a pretty view).
+  std::printf("\nobs snapshot:\n%s\n", obs::snapshot_json().c_str());
   return 0;
 }

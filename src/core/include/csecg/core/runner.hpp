@@ -4,6 +4,7 @@
 // these calls.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,9 +31,19 @@ struct WindowMetrics {
   std::size_t lowres_bits = 0;
   bool converged = false;
   int iterations = 0;
+  double ball_violation = 0.0;   ///< max(0, ‖Φx−y‖−σ) at solver exit.
+  std::uint64_t encode_ns = 0;   ///< Encode wall time (0 if obs disabled).
+  std::uint64_t decode_ns = 0;   ///< Decode wall time (0 if obs disabled).
 };
 
 /// Aggregate over one record.
+///
+/// The convergence block exists because mean_prd/mean_snr alone cannot be
+/// trusted: a window whose solver hit the iteration cap still contributes
+/// its (possibly garbage) PRD to the mean.  Consumers should treat any
+/// report with non_converged_windows > 0 as suspect and inspect the
+/// per-window `converged` flags (the counters also surface globally under
+/// `runner.*` in obs::snapshot_json()).
 struct RecordReport {
   std::string record_name;
   std::vector<WindowMetrics> windows;
@@ -41,6 +52,15 @@ struct RecordReport {
   double cs_cr_percent = 0.0;       ///< CS-channel CR (config-determined).
   double overhead_percent = 0.0;    ///< Measured side-channel overhead Dᵢ.
   double net_cr_percent = 0.0;      ///< cs_cr − overhead.
+  // --- Solver convergence (ISSUE 3) ---------------------------------------
+  std::size_t converged_windows = 0;
+  std::size_t non_converged_windows = 0;  ///< Hit the iteration cap.
+  std::uint64_t total_solver_iterations = 0;
+  int max_solver_iterations = 0;          ///< Worst window.
+  double max_ball_violation = 0.0;        ///< Worst residual excess at exit.
+  // --- Per-stage wall time (zero when obs::set_enabled(false)) ------------
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
 };
 
 /// Encodes/decodes `window_count` windows of one record, decoding windows

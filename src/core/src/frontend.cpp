@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "csecg/common/check.hpp"
+#include "csecg/obs/registry.hpp"
+#include "csecg/obs/span.hpp"
 
 namespace csecg::core {
 namespace {
@@ -107,6 +109,10 @@ const std::optional<sensing::Quantizer>& Encoder::measurement_adc()
 }
 
 Frame Encoder::encode(const linalg::Vector& window) const {
+  static obs::Histogram& encode_hist = obs::histogram("encode.window_ns");
+  static obs::Counter& encoded_windows = obs::counter("encode.windows");
+  const obs::Span encode_span(encode_hist);
+  encoded_windows.add();
   CSECG_CHECK(window.size() == config_.window,
               "Encoder::encode: window has " << window.size()
                                              << " samples, expected "
@@ -160,6 +166,8 @@ Decoder::Decoder(FrontEndConfig config,
 }
 
 DecodeResult Decoder::decode(const Frame& frame, DecodeMode mode) const {
+  static obs::Counter& decoded_windows = obs::counter("decode.windows");
+  decoded_windows.add();
   CSECG_CHECK(frame.window == config_.window,
               "Decoder::decode: frame window " << frame.window
                                                << " != config window "
@@ -233,6 +241,8 @@ DecodeResult Decoder::solve_window(
 }
 
 LossyDecodeResult Decoder::decode_lossy(const LossyWindow& window) const {
+  static obs::Counter& lossy_windows = obs::counter("decode.lossy_windows");
+  lossy_windows.add();
   const std::size_t n = config_.window;
   const std::size_t m = config_.measurements;
   CSECG_CHECK(window.window == n,
@@ -279,7 +289,16 @@ LossyDecodeResult Decoder::decode_lossy(const LossyWindow& window) const {
   // low-resolution staircase (cell midpoints), forward-filling samples
   // whose low-res packets also vanished; with nothing at all, the
   // flat DC reference.
+  if (result.effective_m < m) {
+    static obs::Counter& dropped =
+        obs::counter("decode.dropped_measurements");
+    dropped.add(static_cast<std::uint64_t>(m - result.effective_m));
+  }
+
   if (result.effective_m == 0) {
+    static obs::Counter& lowres_only_windows =
+        obs::counter("decode.lowres_only_windows");
+    lowres_only_windows.add();
     result.lowres_only = true;
     result.used_box = false;
     result.x = linalg::Vector(n);

@@ -1,7 +1,10 @@
 #include "csecg/core/runner.hpp"
 
+#include <algorithm>
+
 #include "csecg/common/check.hpp"
 #include "csecg/metrics/quality.hpp"
+#include "csecg/obs/registry.hpp"
 
 namespace csecg::core {
 
@@ -23,8 +26,12 @@ RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
   report.windows.resize(windows.size());
   pool.parallel_for(0, windows.size(), [&](std::size_t w) {
     const linalg::Vector& window = windows[w];
+    const bool timed = obs::enabled();
+    const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
     const Frame frame = codec.encoder().encode(window);
+    const std::uint64_t t1 = timed ? obs::monotonic_ns() : 0;
     const DecodeResult decoded = codec.decoder().decode(frame, mode);
+    const std::uint64_t t2 = timed ? obs::monotonic_ns() : 0;
 
     WindowMetrics m;
     m.prd = metrics::prd_zero_mean(window, decoded.x);
@@ -35,17 +42,45 @@ RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
     m.lowres_bits = frame.lowres_bits;
     m.converged = decoded.solver.converged;
     m.iterations = decoded.solver.iterations;
+    m.ball_violation = decoded.solver.ball_violation;
+    m.encode_ns = t1 - t0;
+    m.decode_ns = t2 - t1;
     report.windows[w] = m;
   });
 
   double prd_sum = 0.0;
   double snr_sum = 0.0;
   double lowres_bits_sum = 0.0;
+  std::uint64_t encode_ns_sum = 0;
+  std::uint64_t decode_ns_sum = 0;
   for (const auto& m : report.windows) {
     prd_sum += m.prd;
     snr_sum += m.snr;
     lowres_bits_sum += static_cast<double>(m.lowres_bits);
+    if (m.converged) {
+      ++report.converged_windows;
+    } else {
+      ++report.non_converged_windows;
+    }
+    report.total_solver_iterations +=
+        static_cast<std::uint64_t>(m.iterations);
+    report.max_solver_iterations =
+        std::max(report.max_solver_iterations, m.iterations);
+    report.max_ball_violation =
+        std::max(report.max_ball_violation, m.ball_violation);
+    encode_ns_sum += m.encode_ns;
+    decode_ns_sum += m.decode_ns;
   }
+  report.encode_seconds = static_cast<double>(encode_ns_sum) * 1e-9;
+  report.decode_seconds = static_cast<double>(decode_ns_sum) * 1e-9;
+
+  static obs::Counter& runner_windows = obs::counter("runner.windows");
+  static obs::Counter& runner_non_converged =
+      obs::counter("runner.non_converged_windows");
+  static obs::Counter& runner_records = obs::counter("runner.records");
+  runner_windows.add(report.windows.size());
+  runner_non_converged.add(report.non_converged_windows);
+  runner_records.add();
 
   const auto count = static_cast<double>(report.windows.size());
   report.mean_prd = prd_sum / count;

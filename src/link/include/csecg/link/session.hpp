@@ -93,9 +93,16 @@ struct LinkWindowMetrics {
   double energy_j = 0.0;  ///< Whole-node energy for the window.
   bool lowres_only = false;
   bool converged = false;
+  int iterations = 0;             ///< Solver iterations (0 on low-res-only).
+  double ball_violation = 0.0;    ///< Residual excess at solver exit.
+  std::uint64_t window_ns = 0;    ///< encode→decode wall time (0 if obs off).
 };
 
 /// Aggregate over one record crossing the link.
+///
+/// The convergence block mirrors core::RecordReport: `solved_windows`
+/// excludes the low-res-only fallbacks (no solver ran there), so
+/// converged + non_converged == solved_windows always holds.
 struct LinkRecordReport {
   std::string record_name;
   std::vector<LinkWindowMetrics> windows;
@@ -105,6 +112,14 @@ struct LinkRecordReport {
   double mean_energy_j = 0.0;
   std::size_t retransmissions = 0;
   std::size_t lowres_only_windows = 0;
+  // --- Solver convergence (ISSUE 3) ---------------------------------------
+  std::size_t solved_windows = 0;         ///< Windows where a solve ran.
+  std::size_t converged_windows = 0;
+  std::size_t non_converged_windows = 0;  ///< Hit the iteration cap.
+  std::uint64_t total_solver_iterations = 0;
+  double max_ball_violation = 0.0;
+  // --- Wall time across the whole link pipeline (0 when obs disabled) -----
+  double window_seconds = 0.0;
 };
 
 /// Streams `window_count` windows of one record through the session,

@@ -1,9 +1,12 @@
 #include "csecg/link/session.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "csecg/common/check.hpp"
 #include "csecg/metrics/quality.hpp"
+#include "csecg/obs/registry.hpp"
+#include "csecg/obs/span.hpp"
 #include "csecg/rng/xoshiro.hpp"
 
 namespace csecg::link {
@@ -84,14 +87,28 @@ std::uint64_t LinkSession::channel_seed(std::uint32_t sequence) const noexcept {
 
 WindowResult LinkSession::transmit_window(const linalg::Vector& window,
                                           std::uint32_t sequence) const {
+  static obs::Histogram& packetize_hist =
+      obs::histogram("link.packetize_ns");
+  static obs::Histogram& transmit_hist = obs::histogram("link.transmit_ns");
+  static obs::Counter& link_windows = obs::counter("link.windows");
+  static obs::Counter& link_packets = obs::counter("link.packets");
+  static obs::Counter& link_dropped = obs::counter("link.dropped_packets");
+  static obs::Counter& link_retransmissions =
+      obs::counter("link.arq.retransmissions");
+  static obs::Counter& link_crc_failures = obs::counter("link.crc_failures");
+
   const core::Frame frame = encoder_.encode(window);
   const auto window_seq = static_cast<std::uint16_t>(sequence & 0xFFFFu);
+  obs::Span packetize_span(packetize_hist);
   const auto packets = packetizer_.packetize(frame, window_seq);
+  packetize_span.stop();
 
   WindowResult out;
   Channel channel(link_.channel, channel_seed(sequence));
+  obs::Span transmit_span(transmit_hist);
   const auto delivered =
       transmit_packets(packets, channel, link_.arq, out.stats);
+  transmit_span.stop();
   const ReassemblyResult reassembled =
       reassembler_.reassemble(window_seq, delivered);
 
@@ -99,6 +116,12 @@ WindowResult LinkSession::transmit_window(const linalg::Vector& window,
   out.stats.effective_m = out.decoded.effective_m;
   out.stats.boxed_samples = out.decoded.boxed_samples;
   out.energy = price_window(encoder_.config(), link_, out.stats);
+
+  link_windows.add();
+  link_packets.add(out.stats.packets);
+  link_dropped.add(out.stats.dropped);
+  link_retransmissions.add(out.stats.retransmissions);
+  link_crc_failures.add(out.stats.crc_failures);
   return out;
 }
 
@@ -120,8 +143,11 @@ LinkRecordReport run_link_record(const LinkSession& session,
   // hence the report are identical for any pool size (see run_record).
   report.windows.resize(windows.size());
   pool.parallel_for(0, windows.size(), [&](std::size_t w) {
+    const bool timed = obs::enabled();
+    const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
     const WindowResult result = session.transmit_window(
         windows[w], base_sequence + static_cast<std::uint32_t>(w));
+    const std::uint64_t t1 = timed ? obs::monotonic_ns() : 0;
 
     LinkWindowMetrics m;
     m.prd = metrics::prd_zero_mean(windows[w], result.decoded.x);
@@ -130,12 +156,16 @@ LinkRecordReport run_link_record(const LinkSession& session,
     m.energy_j = result.energy.total();
     m.lowres_only = result.decoded.lowres_only;
     m.converged = result.decoded.solver.converged;
+    m.iterations = result.decoded.solver.iterations;
+    m.ball_violation = result.decoded.solver.ball_violation;
+    m.window_ns = t1 - t0;
     report.windows[w] = m;
   });
 
   double prd_sum = 0.0;
   double snr_sum = 0.0;
   double energy_sum = 0.0;
+  std::uint64_t window_ns_sum = 0;
   std::size_t sent = 0;
   std::size_t delivered = 0;
   for (const auto& m : report.windows) {
@@ -145,12 +175,28 @@ LinkRecordReport run_link_record(const LinkSession& session,
     sent += m.stats.packets;
     delivered += m.stats.delivered;
     report.retransmissions += m.stats.retransmissions;
-    if (m.lowres_only) ++report.lowres_only_windows;
+    window_ns_sum += m.window_ns;
+    if (m.lowres_only) {
+      // No solver ran: the decoder emitted the low-res staircase.
+      ++report.lowres_only_windows;
+    } else {
+      ++report.solved_windows;
+      if (m.converged) {
+        ++report.converged_windows;
+      } else {
+        ++report.non_converged_windows;
+      }
+      report.total_solver_iterations +=
+          static_cast<std::uint64_t>(m.iterations);
+      report.max_ball_violation =
+          std::max(report.max_ball_violation, m.ball_violation);
+    }
   }
   const auto count = static_cast<double>(report.windows.size());
   report.mean_prd = prd_sum / count;
   report.mean_snr = snr_sum / count;
   report.mean_energy_j = energy_sum / count;
+  report.window_seconds = static_cast<double>(window_ns_sum) * 1e-9;
   report.delivery_rate =
       sent == 0 ? 1.0
                 : static_cast<double>(delivered) / static_cast<double>(sent);

@@ -26,7 +26,19 @@ double prd(const linalg::Vector& original, const linalg::Vector& reconstructed);
 double prd_zero_mean(const linalg::Vector& original,
                      const linalg::Vector& reconstructed);
 
-/// SNR in dB from a PRD percentage: −20·log10(0.01·PRD).
+/// PRD values below this floor (in percent) report the capped SNR instead
+/// of diverging: a window that reconstructs exactly (PRD == 0, reachable
+/// via the zero-loss decode_lossy fallback on a constant or low-res-
+/// dominated window) is a *success*, not an error.
+inline constexpr double kPrdFloorPercent = 1e-10;
+
+/// SNR reported for PRD ≤ kPrdFloorPercent: −20·log10(0.01·floor) = 240 dB.
+inline constexpr double kSnrCapDb = 240.0;
+
+/// SNR in dB from a PRD percentage: −20·log10(0.01·PRD).  PRD below
+/// kPrdFloorPercent (including an exact 0) is clamped to the floor and
+/// returns kSnrCapDb, counted under `metrics.prd_floor_hits`; a negative
+/// or NaN PRD throws std::invalid_argument.
 double snr_from_prd(double prd_percent);
 
 /// PRD percentage from an SNR in dB (inverse of snr_from_prd).

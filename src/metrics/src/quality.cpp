@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "csecg/common/check.hpp"
+#include "csecg/obs/registry.hpp"
 
 namespace csecg::metrics {
 
@@ -37,7 +38,15 @@ double prd_zero_mean(const linalg::Vector& original,
 }
 
 double snr_from_prd(double prd_percent) {
-  CSECG_CHECK(prd_percent > 0.0, "snr_from_prd requires PRD > 0");
+  CSECG_CHECK(prd_percent >= 0.0 && !std::isnan(prd_percent),
+              "snr_from_prd requires PRD >= 0, got " << prd_percent);
+  if (prd_percent <= kPrdFloorPercent) {
+    // Perfect (or numerically perfect) reconstruction: report the cap
+    // instead of aborting the run on a *success*.
+    static obs::Counter& floor_hits = obs::counter("metrics.prd_floor_hits");
+    floor_hits.add();
+    return kSnrCapDb;
+  }
   return -20.0 * std::log10(0.01 * prd_percent);
 }
 

@@ -1,0 +1,46 @@
+// Scoped timers feeding obs histograms.
+//
+// Usage at a pipeline stage:
+//
+//   void Encoder::encode(...) {
+//     static obs::Histogram& h = obs::histogram("encode.window_ns");
+//     const obs::Span span(h);
+//     ...                       // timed work
+//   }                           // duration recorded on scope exit
+//
+// While obs::set_enabled(false) is in effect a Span reads no clock and
+// records nothing, so the instrumented-off cost is two branches.
+#pragma once
+
+#include "csecg/obs/registry.hpp"
+
+namespace csecg::obs {
+
+/// Times its own lifetime into a histogram (nanoseconds).
+class Span {
+ public:
+  explicit Span(Histogram& sink) noexcept
+      : sink_(enabled() ? &sink : nullptr),
+        start_ns_(sink_ != nullptr ? monotonic_ns() : 0) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { stop(); }
+
+  /// Records now, disarms the destructor, and returns the elapsed
+  /// nanoseconds (0 when timing is disabled or already stopped).
+  std::uint64_t stop() noexcept {
+    if (sink_ == nullptr) return 0;
+    const std::uint64_t elapsed = monotonic_ns() - start_ns_;
+    sink_->record(elapsed);
+    sink_ = nullptr;
+    return elapsed;
+  }
+
+ private:
+  Histogram* sink_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace csecg::obs

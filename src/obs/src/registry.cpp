@@ -1,0 +1,249 @@
+#include "csecg/obs/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace csecg::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Process-unique histogram ids; never reused, so a stale thread-local
+/// shard pointer left by a destroyed histogram can never be read back.
+std::atomic<std::size_t> g_next_histogram_id{0};
+
+/// Per-thread shard cache indexed by histogram id.  Grows only on the
+/// registration slow path; the hot path is one bounds check and one load.
+thread_local std::vector<void*> t_shards;
+
+void append_escaped(std::ostringstream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+void append_double(std::ostringstream& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out << buffer;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+struct Histogram::Shard {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> max{0};
+  std::array<std::atomic<std::uint64_t>, Histogram::kBuckets> buckets{};
+};
+
+Histogram::Histogram()
+    : id_(g_next_histogram_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Histogram::~Histogram() = default;
+
+Histogram::Shard& Histogram::local_shard() {
+  if (id_ < t_shards.size() && t_shards[id_] != nullptr) {
+    return *static_cast<Shard*>(t_shards[id_]);
+  }
+  auto owned = std::make_unique<Shard>();
+  Shard* shard = owned.get();
+  {
+    const std::lock_guard<std::mutex> lock(shards_mutex_);
+    shards_.push_back(std::move(owned));
+  }
+  if (t_shards.size() <= id_) t_shards.resize(id_ + 1, nullptr);
+  t_shards[id_] = shard;
+  return *shard;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  const std::size_t bucket =
+      value == 0 ? 0
+                 : std::min<std::size_t>(std::bit_width(value), kBuckets - 1);
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t prev = shard.max.load(std::memory_order_relaxed);
+  while (value > prev && !shard.max.compare_exchange_weak(
+                             prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot merged;
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  for (const auto& shard : shards_) {
+    merged.count += shard->count.load(std::memory_order_relaxed);
+    merged.sum += shard->sum.load(std::memory_order_relaxed);
+    merged.max =
+        std::max(merged.max, shard->max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      merged.buckets[b] += shard->buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+void Histogram::reset() noexcept {
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  for (const auto& shard : shards_) {
+    shard->count.store(0, std::memory_order_relaxed);
+    shard->sum.store(0, std::memory_order_relaxed);
+    shard->max.store(0, std::memory_order_relaxed);
+    for (auto& bucket : shard->buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= target) {
+      // Upper edge of bucket b, clamped by the true maximum.
+      const std::uint64_t edge =
+          b == 0 ? 0
+                 : (b >= 63 ? max : (std::uint64_t{1} << b) - 1);
+      return std::min(edge, max);
+    }
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(name), std::forward_as_tuple())
+             .first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(name), std::forward_as_tuple())
+             .first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::snapshot_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    append_escaped(out, name);
+    out << ':' << value.value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    append_escaped(out, name);
+    out << ':';
+    append_double(out, value.value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    const Histogram::Snapshot snap = hist->snapshot();
+    append_escaped(out, name);
+    out << ":{\"count\":" << snap.count << ",\"sum\":" << snap.sum
+        << ",\"max\":" << snap.max << ",\"mean\":";
+    append_double(out, snap.mean());
+    out << ",\"p50\":" << snap.quantile(0.5)
+        << ",\"p90\":" << snap.quantile(0.9)
+        << ",\"p99\":" << snap.quantile(0.99) << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, value] : counters_) value.reset();
+  for (auto& [name, value] : gauges_) value.reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
+}
+
+Registry& Registry::global() {
+  // Intentionally leaked: instrumented code may run during static
+  // destruction (worker threads draining, pool teardown), so the global
+  // registry must outlive every other static.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+
+Gauge& gauge(std::string_view name) { return Registry::global().gauge(name); }
+
+Histogram& histogram(std::string_view name) {
+  return Registry::global().histogram(name);
+}
+
+std::string snapshot_json() { return Registry::global().snapshot_json(); }
+
+void reset() { Registry::global().reset(); }
+
+}  // namespace csecg::obs

@@ -26,9 +26,15 @@
 
 namespace csecg::parallel {
 
+/// Strictly parses a CSECG_THREADS-style value: decimal, whole-string,
+/// ≥ 1.  Throws std::invalid_argument on anything else ("garbage", "0",
+/// "4x", overflow) so a benchmark run can never silently fall back to the
+/// wrong thread count.
+std::size_t parse_thread_count(const char* text);
+
 /// Number of threads a default-constructed pool uses: the CSECG_THREADS
-/// environment variable when set to a positive integer, otherwise
-/// std::thread::hardware_concurrency() (at least 1).
+/// environment variable when set (parsed strictly — malformed values
+/// throw), otherwise std::thread::hardware_concurrency() (at least 1).
 std::size_t default_thread_count();
 
 /// Fixed-size worker pool with fork-join data-parallel loops.

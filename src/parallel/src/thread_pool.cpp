@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
+
+#include "csecg/common/check.hpp"
+#include "csecg/obs/registry.hpp"
+#include "csecg/obs/span.hpp"
 
 namespace csecg::parallel {
 
@@ -14,10 +19,27 @@ thread_local bool t_in_pool_chunk = false;
 
 }  // namespace
 
+std::size_t parse_thread_count(const char* text) {
+  CSECG_CHECK(text != nullptr, "thread count: null string");
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  // The seed passed a null endptr here, so "garbage" and "0" silently fell
+  // through to hardware_concurrency — benchmark runs could report numbers
+  // for a thread count nobody asked for.
+  CSECG_CHECK(end != text && *end == '\0',
+              "CSECG_THREADS: malformed value '"
+                  << text << "' (expected a positive decimal integer)");
+  CSECG_CHECK(errno != ERANGE,
+              "CSECG_THREADS: value out of range: '" << text << "'");
+  CSECG_CHECK(parsed >= 1,
+              "CSECG_THREADS: must be >= 1, got '" << text << "'");
+  return static_cast<std::size_t>(parsed);
+}
+
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("CSECG_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+    return parse_thread_count(env);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
@@ -80,9 +102,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   } shared;
   shared.pending = chunks - 1;
 
+  static obs::Histogram& run_hist = obs::histogram("pool.chunk_run_ns");
+  static obs::Histogram& wait_hist = obs::histogram("pool.queue_wait_ns");
+
   auto run_chunk = [&fn, &shared](std::size_t chunk, std::size_t lo,
                                   std::size_t hi) {
     try {
+      const obs::Span run_span(run_hist);
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(shared.mutex);
@@ -103,8 +129,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t enqueue_ns =
+        obs::enabled() ? obs::monotonic_ns() : 0;
     for (std::size_t c = 1; c < chunks; ++c) {
-      queue_.emplace_back([&run_chunk, &shared, c, spans] {
+      queue_.emplace_back([&run_chunk, &shared, c, spans, enqueue_ns] {
+        // Time spent parked in the queue before a worker picked this
+        // chunk up — the fan-out latency the runner pays per window.
+        if (enqueue_ns != 0) {
+          wait_hist.record(obs::monotonic_ns() - enqueue_ns);
+        }
         run_chunk(c, spans[c].first, spans[c].second);
         // Notify under the lock: once pending hits 0 the caller may
         // destroy `shared`, so the worker must be done touching it

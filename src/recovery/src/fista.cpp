@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "csecg/common/check.hpp"
+#include "csecg/obs/registry.hpp"
+#include "csecg/obs/span.hpp"
 #include "csecg/recovery/prox.hpp"
 
 namespace csecg::recovery {
@@ -18,6 +20,8 @@ void validate(const FistaOptions& options) {
 FistaResult solve_lasso_fista(const linalg::LinearOperator& a,
                               const linalg::Vector& y, double lambda,
                               const FistaOptions& options) {
+  static obs::Histogram& solve_hist = obs::histogram("solver.fista.solve_ns");
+  const obs::Span solve_span(solve_hist);
   validate(options);
   CSECG_CHECK(lambda > 0.0, "solve_lasso_fista: lambda must be positive");
   CSECG_CHECK(y.size() == a.rows(), "solve_lasso_fista: y has "
@@ -75,6 +79,17 @@ FistaResult solve_lasso_fista(const linalg::LinearOperator& a,
   result.objective = 0.5 * linalg::norm2_squared(residual) +
                      lambda * linalg::norm1(alpha);
   result.coefficients = std::move(alpha);
+
+  static obs::Counter& solves = obs::counter("solver.fista.solves");
+  static obs::Counter& iterations = obs::counter("solver.fista.iterations");
+  static obs::Counter& converged = obs::counter("solver.fista.converged");
+  static obs::Counter& non_converged =
+      obs::counter("solver.fista.non_converged");
+  static obs::Gauge& last_residual = obs::gauge("solver.fista.last_residual");
+  solves.add();
+  iterations.add(static_cast<std::uint64_t>(result.iterations));
+  (result.converged ? converged : non_converged).add();
+  last_residual.set(linalg::norm2(residual));
   return result;
 }
 

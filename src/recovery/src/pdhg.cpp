@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "csecg/common/check.hpp"
+#include "csecg/obs/registry.hpp"
+#include "csecg/obs/span.hpp"
 #include "csecg/recovery/prox.hpp"
 
 namespace csecg::recovery {
@@ -32,6 +34,8 @@ PdhgResult solve_bpdn(const linalg::LinearOperator& phi,
                       const linalg::Vector& y, double sigma,
                       const std::optional<BoxConstraint>& box,
                       const PdhgOptions& options) {
+  static obs::Histogram& solve_hist = obs::histogram("solver.pdhg.solve_ns");
+  const obs::Span solve_span(solve_hist);
   validate(options);
   const std::size_t m = phi.rows();
   const std::size_t n = phi.cols();
@@ -189,6 +193,19 @@ PdhgResult solve_bpdn(const linalg::LinearOperator& phi,
 
   result.objective = linalg::norm1(psi.apply_adjoint(x));
   result.x = std::move(x);
+
+  static obs::Counter& solves = obs::counter("solver.pdhg.solves");
+  static obs::Counter& iterations = obs::counter("solver.pdhg.iterations");
+  static obs::Counter& converged = obs::counter("solver.pdhg.converged");
+  static obs::Counter& non_converged =
+      obs::counter("solver.pdhg.non_converged");
+  static obs::Gauge& last_residual = obs::gauge("solver.pdhg.last_residual");
+  static obs::Gauge& last_epsilon = obs::gauge("solver.pdhg.last_epsilon");
+  solves.add();
+  iterations.add(static_cast<std::uint64_t>(result.iterations));
+  (result.converged ? converged : non_converged).add();
+  last_residual.set(result.ball_violation);
+  last_epsilon.set(sigma);
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "csecg/common/check.hpp"
+#include "csecg/obs/registry.hpp"
+#include "csecg/obs/span.hpp"
 
 namespace csecg::recovery {
 
@@ -49,6 +51,8 @@ void validate(const Spgl1Options& options) {
 Spgl1Result solve_bpdn_spgl1(const linalg::LinearOperator& a,
                              const linalg::Vector& y, double sigma,
                              const Spgl1Options& options) {
+  static obs::Histogram& solve_hist = obs::histogram("solver.spgl1.solve_ns");
+  const obs::Span solve_span(solve_hist);
   validate(options);
   CSECG_CHECK(y.size() == a.rows(), "solve_bpdn_spgl1: y dimension mismatch");
   CSECG_CHECK(sigma >= 0.0, "solve_bpdn_spgl1: sigma must be non-negative");
@@ -60,6 +64,10 @@ Spgl1Result solve_bpdn_spgl1(const linalg::LinearOperator& a,
     // α = 0 is feasible and ℓ1-minimal.
     result.residual_norm = y_norm;
     result.converged = true;
+    obs::counter("solver.spgl1.solves").add();
+    obs::counter("solver.spgl1.converged").add();
+    obs::gauge("solver.spgl1.last_residual").set(y_norm);
+    obs::gauge("solver.spgl1.last_epsilon").set(sigma);
     return result;
   }
 
@@ -121,6 +129,21 @@ Spgl1Result solve_bpdn_spgl1(const linalg::LinearOperator& a,
 
   result.tau = tau;
   result.coefficients = std::move(alpha);
+
+  static obs::Counter& solves = obs::counter("solver.spgl1.solves");
+  static obs::Counter& inner_iterations =
+      obs::counter("solver.spgl1.inner_iterations");
+  static obs::Counter& converged = obs::counter("solver.spgl1.converged");
+  static obs::Counter& non_converged =
+      obs::counter("solver.spgl1.non_converged");
+  static obs::Gauge& last_residual = obs::gauge("solver.spgl1.last_residual");
+  static obs::Gauge& last_epsilon = obs::gauge("solver.spgl1.last_epsilon");
+  solves.add();
+  inner_iterations.add(
+      static_cast<std::uint64_t>(result.total_inner_iterations));
+  (result.converged ? converged : non_converged).add();
+  last_residual.set(result.residual_norm);
+  last_epsilon.set(sigma);
   return result;
 }
 

@@ -40,8 +40,11 @@ class Quantizer {
   /// Number of codes, 2^bits.
   std::int64_t levels() const noexcept { return levels_; }
 
-  /// Quantizes a value to its code, clipping at the rails.
-  std::int64_t code(double value) const noexcept;
+  /// Quantizes a value to its code, clipping at the rails.  ±inf clamps
+  /// to the corresponding rail (counted under `quantizer.nonfinite`);
+  /// NaN throws std::invalid_argument — it carries no orderable value, so
+  /// any code would be silent garbage.
+  std::int64_t code(double value) const;
 
   /// Lower edge of a code's cell.  Throws std::invalid_argument for codes
   /// outside [0, levels).

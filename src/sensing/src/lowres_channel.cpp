@@ -1,6 +1,9 @@
 #include "csecg/sensing/lowres_channel.hpp"
 
+#include <cmath>
+
 #include "csecg/common/check.hpp"
+#include "csecg/obs/registry.hpp"
 
 namespace csecg::sensing {
 
@@ -33,7 +36,18 @@ LowResOutput LowResChannel::sample(const linalg::Vector& window) const {
   out.step = quantizer_.step();
   out.codes.resize(window.size());
   for (std::size_t i = 0; i < window.size(); ++i) {
-    out.codes[i] = quantizer_.code(window[i]);
+    // NaN would throw inside the quantizer anyway; checking here names
+    // the offending sample.  Out-of-range samples (including ±inf) clamp
+    // to the rails below but break the box guarantee, so count them.
+    const double value = window[i];
+    CSECG_CHECK(!std::isnan(value),
+                "LowResChannel::sample: NaN at sample " << i);
+    if (value < quantizer_.lo() || value >= quantizer_.hi()) {
+      static obs::Counter& out_of_range =
+          obs::counter("lowres.out_of_range_samples");
+      out_of_range.add();
+    }
+    out.codes[i] = quantizer_.code(value);
   }
   quantizer_.boxes(window, out.lower, out.upper);
   return out;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "csecg/common/check.hpp"
+#include "csecg/obs/registry.hpp"
 
 namespace csecg::sensing {
 
@@ -16,10 +17,26 @@ Quantizer::Quantizer(int bits, double lo, double hi, QuantizerMode mode)
   step_ = (hi_ - lo_) / static_cast<double>(levels_);
 }
 
-std::int64_t Quantizer::code(double value) const noexcept {
+std::int64_t Quantizer::code(double value) const {
+  if (!std::isfinite(value)) {
+    // NaN fails every comparison: it would fall through both clamp
+    // branches into a static_cast of an unrepresentable double (UB).
+    CSECG_CHECK(!std::isnan(value), "Quantizer::code: NaN input");
+    static obs::Counter& nonfinite = obs::counter("quantizer.nonfinite");
+    nonfinite.add();
+    return value < 0.0 ? 0 : levels_ - 1;
+  }
   const double idx = std::floor((value - lo_) / step_);
-  if (idx < 0.0) return 0;
-  if (idx >= static_cast<double>(levels_)) return levels_ - 1;
+  if (idx < 0.0) {
+    static obs::Counter& clamped_low = obs::counter("quantizer.clamped_low");
+    clamped_low.add();
+    return 0;
+  }
+  if (idx >= static_cast<double>(levels_)) {
+    static obs::Counter& clamped_high = obs::counter("quantizer.clamped_high");
+    clamped_high.add();
+    return levels_ - 1;
+  }
   return static_cast<std::int64_t>(idx);
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "csecg/common/check.hpp"
+#include "csecg/obs/registry.hpp"
 
 namespace csecg::sensing {
 
@@ -79,6 +80,17 @@ linalg::Vector RmpiSimulator::measure_unquantized(
     double acc = 0.0;
     for (std::size_t k = 0; k < config_.window; ++k) {
       acc = acc * keep + chip_row[k] * x[k];
+    }
+    if (!std::isfinite(acc)) {
+      // A NaN integrator output means a NaN input sample — fail with the
+      // channel index instead of letting the ADC see it.  ±inf (saturated
+      // accumulation) is counted and left for the ADC to clamp.
+      CSECG_CHECK(!std::isnan(acc),
+                  "RmpiSimulator::measure: NaN integrator output on channel "
+                      << c);
+      static obs::Counter& nonfinite =
+          obs::counter("rmpi.nonfinite_integrator_outputs");
+      nonfinite.add();
     }
     y[c] = acc;
   }

@@ -293,6 +293,45 @@ TEST_F(FrontEndTest, RunDatabaseAndAggregates) {
   EXPECT_NEAR((snrs[0] + snrs[1]) / 2.0, avg_snr, 1e-12);
 }
 
+TEST_F(FrontEndTest, ReportCountsNonConvergedWindowsInsteadOfAveraging) {
+  // With an iteration budget far too small to converge, every window must
+  // land in non_converged_windows — the report may not silently fold
+  // garbage reconstructions into the means without flagging it (ISSUE 3).
+  FrontEndConfig starved = config();
+  starved.solver.max_iterations = 3;
+  const Codec codec(starved, lowres_codec());
+  const RecordReport report = run_record(codec, database().record(0), 3);
+  ASSERT_EQ(report.windows.size(), 3u);
+  EXPECT_EQ(report.converged_windows + report.non_converged_windows,
+            report.windows.size());
+  EXPECT_EQ(report.non_converged_windows, report.windows.size());
+  EXPECT_EQ(report.converged_windows, 0u);
+  // Each window burned the full budget, and the totals reflect that.
+  EXPECT_EQ(report.max_solver_iterations, 3);
+  EXPECT_EQ(report.total_solver_iterations, 3u * 3u);
+  EXPECT_GT(report.max_ball_violation, 0.0);
+  for (const auto& w : report.windows) {
+    EXPECT_FALSE(w.converged);
+    EXPECT_EQ(w.iterations, 3);
+  }
+}
+
+TEST_F(FrontEndTest, ReportCarriesConvergenceAndStageTimings) {
+  const Codec codec(config(), lowres_codec());
+  const RecordReport report = run_record(codec, database().record(0), 2);
+  EXPECT_EQ(report.converged_windows + report.non_converged_windows,
+            report.windows.size());
+  EXPECT_GT(report.total_solver_iterations, 0u);
+  EXPECT_GT(report.max_solver_iterations, 0);
+  // obs is enabled by default, so the per-stage wall clocks are populated.
+  EXPECT_GT(report.encode_seconds, 0.0);
+  EXPECT_GT(report.decode_seconds, 0.0);
+  for (const auto& w : report.windows) {
+    EXPECT_GT(w.encode_ns, 0u);
+    EXPECT_GT(w.decode_ns, 0u);
+  }
+}
+
 TEST_F(FrontEndTest, RunnerValidation) {
   const Codec codec(config(), lowres_codec());
   EXPECT_THROW(run_record(codec, database().record(0), 0),

@@ -62,7 +62,29 @@ TEST(Snr, PaperAnchorValues) {
   EXPECT_NEAR(snr_from_prd(1.0), 40.0, 1e-12);
   EXPECT_NEAR(snr_from_prd(10.0), 20.0, 1e-12);
   EXPECT_NEAR(snr_from_prd(100.0), 0.0, 1e-12);
-  EXPECT_THROW(snr_from_prd(0.0), std::invalid_argument);
+}
+
+TEST(Snr, PerfectReconstructionReturnsCapInsteadOfThrowing) {
+  // A window that reconstructs exactly (PRD == 0, reachable via the
+  // zero-loss decode_lossy fallback on a constant window) is a success;
+  // it must not abort the whole run (ISSUE 3).
+  EXPECT_DOUBLE_EQ(snr_from_prd(0.0), kSnrCapDb);
+  EXPECT_DOUBLE_EQ(snr_from_prd(kPrdFloorPercent), kSnrCapDb);
+  EXPECT_DOUBLE_EQ(snr_from_prd(kPrdFloorPercent / 10.0), kSnrCapDb);
+  // Just above the floor: the exact formula again, continuous at the cap.
+  EXPECT_NEAR(snr_from_prd(kPrdFloorPercent * 1.0001), kSnrCapDb, 1e-2);
+  // The cap is consistent with the documented floor.
+  EXPECT_NEAR(prd_from_snr(kSnrCapDb), kPrdFloorPercent, 1e-22);
+}
+
+TEST(Snr, NegativeOrNanPrdStillThrows) {
+  EXPECT_THROW(snr_from_prd(-1.0), std::invalid_argument);
+  EXPECT_THROW(snr_from_prd(std::nan("")), std::invalid_argument);
+}
+
+TEST(Snr, IdenticalSignalsYieldCappedSnrEndToEnd) {
+  const Vector x{3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(snr(x, x), kSnrCapDb);
 }
 
 TEST(Snr, DirectMatchesViaPrd) {

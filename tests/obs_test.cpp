@@ -1,0 +1,239 @@
+// Tests for csecg::obs — counter/gauge/histogram semantics, per-thread
+// histogram sharding under real contention, the enabled() gate, and the
+// structure of the JSON snapshot the experiment binaries export.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "csecg/obs/registry.hpp"
+#include "csecg/obs/span.hpp"
+#include "csecg/parallel/thread_pool.hpp"
+
+namespace csecg::obs {
+namespace {
+
+// Each test works on a private Registry so it cannot race the global one
+// (instrumented library code writes there from other tests' pool threads).
+
+TEST(ObsCounter, AddAndReset) {
+  Registry reg;
+  Counter& c = reg.counter("test.events");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, LookupIsFindOrCreateWithStableReferences) {
+  Registry reg;
+  Counter& a = reg.counter("same.name");
+  a.add(7);
+  // Interleave other registrations; node-based storage must not move `a`.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("other." + std::to_string(i)).add();
+  }
+  Counter& b = reg.counter("same.name");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(ObsGauge, LastValueWins) {
+  Registry reg;
+  Gauge& g = reg.gauge("test.level");
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsHistogram, BucketsCountSumMax) {
+  Registry reg;
+  Histogram& h = reg.histogram("test.latency_ns");
+  h.record(0);    // bucket 0
+  h.record(1);    // bucket 1: [1, 2)
+  h.record(3);    // bucket 2: [2, 4)
+  h.record(900);  // bucket 10: [512, 1024)
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 904u);
+  EXPECT_EQ(snap.max, 900u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[10], 1u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 904.0 / 4.0);
+  // All mass sits at or below the top occupied bucket's upper edge.
+  EXPECT_LE(snap.quantile(0.5), 1024u);
+  EXPECT_GE(snap.quantile(0.99), 512u);
+}
+
+TEST(ObsHistogram, HugeSampleLandsInTopBucketNotUb) {
+  Registry reg;
+  Histogram& h = reg.histogram("test.huge_ns");
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.buckets[Histogram::kBuckets - 1], 1u);
+}
+
+TEST(ObsHistogram, MergesShardsAcrossThreads) {
+  Registry reg;
+  Histogram& h = reg.histogram("test.mt_ns");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(i % 1000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.max, 999u);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(ObsHistogram, RecordFromPoolThreadsAfterReset) {
+  // The thread-local shard cache is keyed by process-unique histogram ids;
+  // pool threads that recorded before a reset() must keep working after.
+  Registry reg;
+  Histogram& h = reg.histogram("test.pool_ns");
+  parallel::ThreadPool pool(4);
+  pool.parallel_for(0, 256, [&h](std::size_t i) {
+    h.record(static_cast<std::uint64_t>(i));
+  });
+  EXPECT_EQ(h.snapshot().count, 256u);
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+  pool.parallel_for(0, 256, [&h](std::size_t i) {
+    h.record(static_cast<std::uint64_t>(i));
+  });
+  EXPECT_EQ(h.snapshot().count, 256u);
+}
+
+TEST(ObsEnabled, GateSilencesHistogramsButNotCounters) {
+  Registry reg;
+  Counter& c = reg.counter("gate.counter");
+  Histogram& h = reg.histogram("gate.hist_ns");
+  ASSERT_TRUE(enabled());  // Process default.
+  set_enabled(false);
+  c.add();
+  h.record(123);
+  {
+    Span span(h);  // Reads no clock while disabled.
+    EXPECT_EQ(span.stop(), 0u);
+  }
+  set_enabled(true);
+  EXPECT_EQ(c.value(), 1u);          // Counters are never gated.
+  EXPECT_EQ(h.snapshot().count, 0u); // Histograms went quiet.
+  h.record(123);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(ObsSpan, RecordsLifetimeOnceAndStopDisarms) {
+  Registry reg;
+  Histogram& h = reg.histogram("span.hist_ns");
+  {
+    Span span(h);
+  }
+  EXPECT_EQ(h.snapshot().count, 1u);
+  {
+    Span span(h);
+    span.stop();
+    EXPECT_EQ(span.stop(), 0u);  // Second stop is a no-op.
+  }  // Destructor must not double-record.
+  EXPECT_EQ(h.snapshot().count, 2u);
+}
+
+TEST(ObsSnapshot, JsonContainsEveryMetricWithExpectedShape) {
+  Registry reg;
+  reg.counter("alpha.events").add(3);
+  reg.gauge("beta.level").set(2.5);
+  reg.histogram("gamma.time_ns").record(100);
+  const std::string json = reg.snapshot_json();
+  // Top-level sections.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Metric payloads (compact form, no whitespace).
+  EXPECT_NE(json.find("\"alpha.events\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"beta.level\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"gamma.time_ns\""), std::string::npos);
+  for (const char* field : {"\"count\"", "\"sum\"", "\"max\"", "\"mean\"",
+                            "\"p50\"", "\"p90\"", "\"p99\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  // Balanced braces and no trailing comma before a closer — the cheap
+  // structural sanity checks that catch most hand-rolled JSON bugs.
+  int depth = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '{') ++depth;
+    if (json[i] == '}') --depth;
+    EXPECT_GE(depth, 0) << "unbalanced at byte " << i;
+    if (json[i] == ',') {
+      std::size_t j = i + 1;
+      while (j < json.size() &&
+             (json[j] == ' ' || json[j] == '\n')) {
+        ++j;
+      }
+      ASSERT_LT(j, json.size());
+      EXPECT_NE(json[j], '}') << "trailing comma at byte " << i;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ObsSnapshot, JsonEscapesAwkwardNames) {
+  Registry reg;
+  reg.counter("weird\"name\\here").add();
+  const std::string json = reg.snapshot_json();
+  EXPECT_NE(json.find("weird\\\"name\\\\here"), std::string::npos);
+}
+
+TEST(ObsSnapshot, ResetZeroesValuesButKeepsNames) {
+  Registry reg;
+  reg.counter("keep.me").add(9);
+  reg.histogram("keep.hist_ns").record(50);
+  reg.reset();
+  const std::string json = reg.snapshot_json();
+  EXPECT_NE(json.find("\"keep.me\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"keep.hist_ns\""), std::string::npos);
+  EXPECT_EQ(reg.counter("keep.me").value(), 0u);
+  EXPECT_EQ(reg.histogram("keep.hist_ns").snapshot().count, 0u);
+}
+
+TEST(ObsGlobal, FreeFunctionsHitTheGlobalRegistry) {
+  Counter& c = counter("obs_test.global_counter");
+  const std::uint64_t before = c.value();
+  c.add(5);
+  EXPECT_EQ(counter("obs_test.global_counter").value(), before + 5);
+  const std::string json = snapshot_json();
+  EXPECT_NE(json.find("\"obs_test.global_counter\""), std::string::npos);
+}
+
+TEST(ObsClock, MonotonicNeverGoesBackwards) {
+  std::uint64_t prev = monotonic_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = monotonic_ns();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace csecg::obs

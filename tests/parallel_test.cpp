@@ -26,10 +26,35 @@ TEST(ThreadPool, ReportsRequestedThreadCount) {
 TEST(ThreadPool, DefaultThreadCountHonoursEnvOverride) {
   ::setenv("CSECG_THREADS", "5", 1);
   EXPECT_EQ(parallel::default_thread_count(), 5u);
-  ::setenv("CSECG_THREADS", "not-a-number", 1);
-  EXPECT_GE(parallel::default_thread_count(), 1u);
   ::unsetenv("CSECG_THREADS");
   EXPECT_GE(parallel::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, MalformedThreadCountFailsLoudly) {
+  // The seed silently fell back to hardware_concurrency on garbage, so a
+  // benchmark run could report numbers for the wrong thread count
+  // (ISSUE 3).  Malformed values must now throw.
+  for (const char* bad :
+       {"not-a-number", "0", "-3", "4x", "1.5", "", " ", "99999999999999999999"}) {
+    ::setenv("CSECG_THREADS", bad, 1);
+    EXPECT_THROW(parallel::default_thread_count(), std::invalid_argument)
+        << "CSECG_THREADS='" << bad << "'";
+  }
+  ::unsetenv("CSECG_THREADS");
+}
+
+TEST(ThreadPool, ParseThreadCountAcceptsOnlyPositiveIntegers) {
+  EXPECT_EQ(parallel::parse_thread_count("1"), 1u);
+  EXPECT_EQ(parallel::parse_thread_count("16"), 16u);
+  EXPECT_EQ(parallel::parse_thread_count("  8"), 8u);  // strtol skips space.
+  EXPECT_THROW(parallel::parse_thread_count("8  "), std::invalid_argument);
+  EXPECT_THROW(parallel::parse_thread_count("0"), std::invalid_argument);
+  EXPECT_THROW(parallel::parse_thread_count("-1"), std::invalid_argument);
+  EXPECT_THROW(parallel::parse_thread_count("abc"), std::invalid_argument);
+  EXPECT_THROW(parallel::parse_thread_count("3threads"),
+               std::invalid_argument);
+  EXPECT_THROW(parallel::parse_thread_count(""), std::invalid_argument);
+  EXPECT_THROW(parallel::parse_thread_count(nullptr), std::invalid_argument);
 }
 
 TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "csecg/linalg/matrix.hpp"
@@ -153,6 +154,38 @@ TEST(Quantizer, ClipsOutOfRange) {
   const Quantizer q(2, 0.0, 4.0);
   EXPECT_EQ(q.code(-5.0), 0);
   EXPECT_EQ(q.code(100.0), 3);
+}
+
+TEST(Quantizer, InfinitiesClampToRails) {
+  // The seed computed floor((inf - lo)/step) and cast the result to
+  // int64 — UB that happened to wrap on x86 (ISSUE 3).  Infinities are
+  // "very out of range" and must clamp like any saturated sample.
+  const Quantizer q(3, -4.0, 4.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(q.code(inf), q.levels() - 1);
+  EXPECT_EQ(q.code(-inf), 0);
+}
+
+TEST(Quantizer, NanInputThrows) {
+  // A NaN carries no ordering information, so there is no defensible
+  // rail; silently emitting code 0 would corrupt the frame downstream.
+  const Quantizer q(3, -4.0, 4.0);
+  const double nan = std::nan("");
+  EXPECT_THROW(q.code(nan), std::invalid_argument);
+  EXPECT_THROW(q.quantize(Vector{0.0, nan}), std::invalid_argument);
+  Vector lower;
+  Vector upper;
+  EXPECT_THROW(q.boxes(Vector{nan}, lower, upper), std::invalid_argument);
+}
+
+TEST(Quantizer, UpperBoundaryValueClampsToTopCode) {
+  // value == hi lands exactly on the one-past-the-last lower edge; the
+  // float index equals `levels` and must clamp, not overflow the cast.
+  const Quantizer q(2, 0.0, 4.0);
+  EXPECT_EQ(q.code(4.0), 3);
+  // Just below hi stays in the top bin; far above clamps to it.
+  EXPECT_EQ(q.code(std::nextafter(4.0, 0.0)), 3);
+  EXPECT_EQ(q.code(std::nextafter(4.0, 8.0)), 3);
 }
 
 TEST(Quantizer, LowerEdgeValidation) {
