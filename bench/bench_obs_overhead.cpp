@@ -50,7 +50,9 @@ int main() {
   (void)core::run_database(codec, database, records, windows,
                            core::DecodeMode::kAuto, pool);
 
-  constexpr int kReps = 5;
+  // Container-tenancy load spikes at the ~second scale make a 2% effect
+  // hard to see in 5 samples; best-of-9 keeps the floor estimate honest.
+  constexpr int kReps = 9;
   double on_best = 1e300;
   double off_best = 1e300;
   std::printf("arm,rep,seconds,windows_per_sec\n");

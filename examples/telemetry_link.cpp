@@ -13,7 +13,25 @@
 #include <cstdlib>
 
 #include "csecg/link/session.hpp"
+#include "csecg/obs/ledger.hpp"
 #include "csecg/obs/registry.hpp"
+#include "csecg/obs/trace.hpp"
+
+namespace {
+
+/// Writes `text` to `path`; returns false (with a stderr note) on failure.
+bool write_file(const char* path, const std::string& text) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace csecg;
@@ -103,5 +121,16 @@ int main(int argc, char** argv) {
   // Everything the run recorded — solver convergence, ARQ rounds, stage
   // timings — in one scrape (pipe through `jq` for a pretty view).
   std::printf("\nobs snapshot:\n%s\n", obs::snapshot_json().c_str());
+
+  // With CSECG_TRACE=1 / CSECG_LEDGER=1 the run also leaves artifacts
+  // behind: a Perfetto-loadable timeline and the per-window quality ledger.
+  if (obs::trace_enabled() && write_file("trace.json", obs::trace_json())) {
+    std::printf("wrote trace.json (%zu events — open in ui.perfetto.dev)\n",
+                obs::trace_event_count());
+  }
+  if (obs::ledger_enabled() &&
+      write_file("ledger.jsonl", obs::ledger_jsonl())) {
+    std::printf("wrote ledger.jsonl (%zu rows)\n", obs::ledger_size());
+  }
   return 0;
 }

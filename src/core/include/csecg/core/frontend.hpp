@@ -141,6 +141,12 @@ class Decoder {
   /// per window; safe to call from several threads.
   const linalg::Matrix& synthesis_dictionary() const;
 
+  /// The fidelity radius σ the full-measurement solves use
+  /// (sigma_scale × expected quantization-noise norm); lossy decodes
+  /// shrink it by √(m_eff/m).  Exposed so the quality ledger can record
+  /// the per-window radius next to the solver residual.
+  double sigma() const noexcept { return sigma_; }
+
  private:
   /// Box [ẋ−dc, ẋ+d−dc] from decoded low-res codes, in the AC domain the
   /// solver works in.  Shared by the lossless and lossy decode paths so

@@ -61,6 +61,14 @@ struct RecordReport {
   // --- Per-stage wall time (zero when obs::set_enabled(false)) ------------
   double encode_seconds = 0.0;
   double decode_seconds = 0.0;
+  // --- Quality-outlier flagging (ISSUE 4) ----------------------------------
+  /// Indices of windows whose SNR fell below the robust (MAD-based) lower
+  /// fence `median − 3.5·1.4826·MAD` over this record's windows.  Empty for
+  /// clean records; the same indices are marked `"outlier":true` in the
+  /// quality ledger rows.
+  std::vector<std::size_t> outlier_windows;
+  /// The SNR fence (dB) the flags above were cut at.
+  double outlier_snr_threshold_db = 0.0;
 };
 
 /// Encodes/decodes `window_count` windows of one record, decoding windows
@@ -68,14 +76,21 @@ struct RecordReport {
 /// into a pre-sized slot and the aggregates are reduced in window order,
 /// so the report is bit-identical for any thread count.  Throws
 /// std::invalid_argument if the record is too short.
+///
+/// When obs::ledger_enabled(), one quality-ledger row per window is
+/// appended during the ordered reduction with sequence `ledger_base + w`;
+/// rows carry only deterministic fields, so the merged ledger is
+/// bit-identical across thread counts too.
 RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
                         std::size_t window_count, DecodeMode mode,
-                        parallel::ThreadPool& pool);
+                        parallel::ThreadPool& pool,
+                        std::uint64_t ledger_base = 0);
 
 /// run_record on the process-wide pool (CSECG_THREADS controls its size).
 RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
                         std::size_t window_count,
-                        DecodeMode mode = DecodeMode::kAuto);
+                        DecodeMode mode = DecodeMode::kAuto,
+                        std::uint64_t ledger_base = 0);
 
 /// Runs the first `record_count` database records, fanning records out
 /// across the pool (window decodes inside each record then run inline).

@@ -4,13 +4,81 @@
 
 #include "csecg/common/check.hpp"
 #include "csecg/metrics/quality.hpp"
+#include "csecg/metrics/stats.hpp"
+#include "csecg/obs/json.hpp"
+#include "csecg/obs/ledger.hpp"
 #include "csecg/obs/registry.hpp"
+#include "csecg/obs/trace.hpp"
 
 namespace csecg::core {
 
+namespace {
+
+const char* decode_mode_name(DecodeMode mode) {
+  switch (mode) {
+    case DecodeMode::kHybrid:
+      return "hybrid";
+    case DecodeMode::kNormalCs:
+      return "normal_cs";
+    case DecodeMode::kAuto:
+    default:
+      return "auto";
+  }
+}
+
+/// One quality-ledger JSONL row for a cleanly decoded window.  Every field
+/// is deterministic (no wall-clock times — those live in the trace and the
+/// histograms), which is what makes the merged ledger bit-identical across
+/// CSECG_THREADS settings.
+std::string ledger_row(const RecordReport& report, std::size_t w,
+                       std::uint64_t seq, const FrontEndConfig& config,
+                       double sigma, DecodeMode mode, bool outlier) {
+  const WindowMetrics& m = report.windows[w];
+  std::string row;
+  row.reserve(320);
+  row += "{\"kind\":\"window\",\"record\":";
+  obs::append_json_string(row, report.record_name);
+  row += ",\"seq\":";
+  obs::append_json_u64(row, seq);
+  row += ",\"window\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(w));
+  row += ",\"m\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(config.measurements));
+  row += ",\"sigma\":";
+  obs::append_json_double(row, sigma);
+  row += ",\"solver\":\"pdhg\",\"decode_mode\":\"";
+  row += decode_mode_name(mode);
+  row += "\",\"iterations\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(
+                                m.iterations < 0 ? 0 : m.iterations));
+  row += ",\"converged\":";
+  obs::append_json_bool(row, m.converged);
+  row += ",\"ball_violation\":";
+  obs::append_json_double(row, m.ball_violation);
+  row += ",\"prd\":";
+  obs::append_json_double(row, m.prd);
+  row += ",\"snr\":";
+  obs::append_json_double(row, m.snr);
+  row += ",\"prd_raw\":";
+  obs::append_json_double(row, m.prd_raw);
+  row += ",\"snr_raw\":";
+  obs::append_json_double(row, m.snr_raw);
+  row += ",\"cs_bits\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(m.cs_bits));
+  row += ",\"lowres_bits\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(m.lowres_bits));
+  row += ",\"outlier\":";
+  obs::append_json_bool(row, outlier);
+  row += '}';
+  return row;
+}
+
+}  // namespace
+
 RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
                         std::size_t window_count, DecodeMode mode,
-                        parallel::ThreadPool& pool) {
+                        parallel::ThreadPool& pool,
+                        std::uint64_t ledger_base) {
   CSECG_CHECK(window_count > 0, "run_record: window_count must be positive");
   const FrontEndConfig& config = codec.config();
   const auto windows =
@@ -25,6 +93,8 @@ RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
   // bit-identical whatever the pool size.
   report.windows.resize(windows.size());
   pool.parallel_for(0, windows.size(), [&](std::size_t w) {
+    obs::TraceScope window_trace("runner.window", "runner", "window",
+                                 static_cast<std::uint64_t>(w));
     const linalg::Vector& window = windows[w];
     const bool timed = obs::enabled();
     const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
@@ -93,13 +163,39 @@ RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
   report.net_cr_percent =
       metrics::net_compression_ratio(report.cs_cr_percent,
                                      report.overhead_percent);
+
+  // Robust per-record quality fence: a window is an outlier when its SNR
+  // drops below median − 3.5·1.4826·MAD over this record.  The fence and
+  // flags depend only on the (deterministic) per-window metrics, so both
+  // the report and the ledger rows below are thread-count-invariant.
+  std::vector<double> snrs(report.windows.size());
+  for (std::size_t w = 0; w < report.windows.size(); ++w) {
+    snrs[w] = report.windows[w].snr;
+  }
+  report.outlier_snr_threshold_db = metrics::mad_low_threshold(snrs);
+  report.outlier_windows = metrics::mad_low_outliers(snrs);
+
+  if (obs::ledger_enabled()) {
+    const double sigma = codec.decoder().sigma();
+    std::size_t next_outlier = 0;
+    for (std::size_t w = 0; w < report.windows.size(); ++w) {
+      const bool outlier = next_outlier < report.outlier_windows.size() &&
+                           report.outlier_windows[next_outlier] == w;
+      if (outlier) ++next_outlier;
+      obs::Ledger::global().append(
+          ledger_base + w,
+          ledger_row(report, w, ledger_base + w, config, sigma, mode,
+                     outlier));
+    }
+  }
   return report;
 }
 
 RecordReport run_record(const Codec& codec, const ecg::EcgRecord& record,
-                        std::size_t window_count, DecodeMode mode) {
+                        std::size_t window_count, DecodeMode mode,
+                        std::uint64_t ledger_base) {
   return run_record(codec, record, window_count, mode,
-                    parallel::global_pool());
+                    parallel::global_pool(), ledger_base);
 }
 
 std::vector<RecordReport> run_database(const Codec& codec,
@@ -116,8 +212,11 @@ std::vector<RecordReport> run_database(const Codec& codec,
   // serial run.
   std::vector<RecordReport> reports(record_count);
   pool.parallel_for(0, record_count, [&](std::size_t r) {
+    // Ledger sequence numbers tile the database run: record r owns
+    // [r·wpr, (r+1)·wpr), so the merged ledger sorts into database order.
     reports[r] =
-        run_record(codec, database.record(r), windows_per_record, mode, pool);
+        run_record(codec, database.record(r), windows_per_record, mode, pool,
+                   static_cast<std::uint64_t>(r * windows_per_record));
   });
   return reports;
 }

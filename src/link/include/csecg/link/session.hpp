@@ -120,6 +120,12 @@ struct LinkRecordReport {
   double max_ball_violation = 0.0;
   // --- Wall time across the whole link pipeline (0 when obs disabled) -----
   double window_seconds = 0.0;
+  // --- Quality-outlier flagging (ISSUE 4) ----------------------------------
+  /// Windows whose SNR fell below the robust MAD fence over this record
+  /// (median − 3.5·1.4826·MAD) — typically the ones the channel hurt most.
+  std::vector<std::size_t> outlier_windows;
+  /// The SNR fence (dB) the flags above were cut at.
+  double outlier_snr_threshold_db = 0.0;
 };
 
 /// Streams `window_count` windows of one record through the session,

@@ -1,12 +1,17 @@
 #include "csecg/link/session.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "csecg/common/check.hpp"
 #include "csecg/metrics/quality.hpp"
+#include "csecg/metrics/stats.hpp"
+#include "csecg/obs/json.hpp"
+#include "csecg/obs/ledger.hpp"
 #include "csecg/obs/registry.hpp"
 #include "csecg/obs/span.hpp"
+#include "csecg/obs/trace.hpp"
 #include "csecg/rng/xoshiro.hpp"
 
 namespace csecg::link {
@@ -56,6 +61,74 @@ power::NodeEnergy price_window(const core::FrontEndConfig& config,
                                    window_seconds);
 }
 
+/// One quality-ledger JSONL row for a window that crossed the link.  Only
+/// deterministic fields (the channel substream is seeded per sequence, so
+/// loss accounting is deterministic too); wall-clock timing stays in the
+/// trace and histograms.
+std::string link_ledger_row(const LinkRecordReport& report, std::size_t w,
+                            std::uint64_t seq,
+                            const core::FrontEndConfig& config,
+                            double sigma_full, bool outlier) {
+  const LinkWindowMetrics& m = report.windows[w];
+  const auto full_m = static_cast<double>(config.measurements);
+  const double sigma_eff =
+      m.lowres_only
+          ? 0.0
+          : sigma_full * std::sqrt(
+                             static_cast<double>(m.stats.effective_m) / full_m);
+  std::string row;
+  row.reserve(420);
+  row += "{\"kind\":\"link_window\",\"record\":";
+  obs::append_json_string(row, report.record_name);
+  row += ",\"seq\":";
+  obs::append_json_u64(row, seq);
+  row += ",\"window\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(w));
+  row += ",\"m\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(config.measurements));
+  row += ",\"m_eff\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(m.stats.effective_m));
+  row += ",\"sigma\":";
+  obs::append_json_double(row, sigma_eff);
+  row += ",\"solver\":\"pdhg\",\"decode_mode\":\"";
+  row += m.lowres_only ? "lowres_only" : "lossy";
+  row += "\",\"iterations\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(
+                                m.iterations < 0 ? 0 : m.iterations));
+  row += ",\"converged\":";
+  obs::append_json_bool(row, m.converged);
+  row += ",\"ball_violation\":";
+  obs::append_json_double(row, m.ball_violation);
+  row += ",\"prd\":";
+  obs::append_json_double(row, m.prd);
+  row += ",\"snr\":";
+  obs::append_json_double(row, m.snr);
+  row += ",\"packets\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(m.stats.packets));
+  row += ",\"delivered\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(m.stats.delivered));
+  row += ",\"dropped\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(m.stats.dropped));
+  row += ",\"retransmissions\":";
+  obs::append_json_u64(row,
+                       static_cast<std::uint64_t>(m.stats.retransmissions));
+  row += ",\"crc_failures\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(m.stats.crc_failures));
+  row += ",\"data_bits\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(m.stats.data_bits));
+  row += ",\"feedback_bits\":";
+  obs::append_json_u64(row, static_cast<std::uint64_t>(m.stats.feedback_bits));
+  row += ",\"boxed_samples\":";
+  obs::append_json_u64(row,
+                       static_cast<std::uint64_t>(m.stats.boxed_samples));
+  row += ",\"energy_j\":";
+  obs::append_json_double(row, m.energy_j);
+  row += ",\"outlier\":";
+  obs::append_json_bool(row, outlier);
+  row += '}';
+  return row;
+}
+
 }  // namespace
 
 LinkSession::LinkSession(core::FrontEndConfig config,
@@ -97,17 +170,24 @@ WindowResult LinkSession::transmit_window(const linalg::Vector& window,
       obs::counter("link.arq.retransmissions");
   static obs::Counter& link_crc_failures = obs::counter("link.crc_failures");
 
+  obs::TraceScope window_trace("link.window", "link", "sequence",
+                               static_cast<std::uint64_t>(sequence));
   const core::Frame frame = encoder_.encode(window);
   const auto window_seq = static_cast<std::uint16_t>(sequence & 0xFFFFu);
   obs::Span packetize_span(packetize_hist);
+  obs::TraceScope packetize_trace("link.packetize", "link");
   const auto packets = packetizer_.packetize(frame, window_seq);
+  packetize_trace.stop();
   packetize_span.stop();
 
   WindowResult out;
   Channel channel(link_.channel, channel_seed(sequence));
   obs::Span transmit_span(transmit_hist);
+  obs::TraceScope transmit_trace("link.transmit", "link", "packets",
+                                 static_cast<std::uint64_t>(packets.size()));
   const auto delivered =
       transmit_packets(packets, channel, link_.arq, out.stats);
+  transmit_trace.stop();
   transmit_span.stop();
   const ReassemblyResult reassembled =
       reassembler_.reassemble(window_seq, delivered);
@@ -200,6 +280,28 @@ LinkRecordReport run_link_record(const LinkSession& session,
   report.delivery_rate =
       sent == 0 ? 1.0
                 : static_cast<double>(delivered) / static_cast<double>(sent);
+
+  // Same robust fence as core::run_record; on a lossy link the flagged
+  // windows are usually the ones whose CS train took the worst losses.
+  std::vector<double> snrs(report.windows.size());
+  for (std::size_t w = 0; w < report.windows.size(); ++w) {
+    snrs[w] = report.windows[w].snr;
+  }
+  report.outlier_snr_threshold_db = metrics::mad_low_threshold(snrs);
+  report.outlier_windows = metrics::mad_low_outliers(snrs);
+
+  if (obs::ledger_enabled()) {
+    const double sigma_full = session.decoder().sigma();
+    std::size_t next_outlier = 0;
+    for (std::size_t w = 0; w < report.windows.size(); ++w) {
+      const bool outlier = next_outlier < report.outlier_windows.size() &&
+                           report.outlier_windows[next_outlier] == w;
+      if (outlier) ++next_outlier;
+      const std::uint64_t seq = static_cast<std::uint64_t>(base_sequence) + w;
+      obs::Ledger::global().append(
+          seq, link_ledger_row(report, w, seq, config, sigma_full, outlier));
+    }
+  }
   return report;
 }
 

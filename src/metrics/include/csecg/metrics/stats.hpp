@@ -39,4 +39,17 @@ struct BoxStats {
 /// Computes BoxStats.  Throws std::invalid_argument on an empty sample.
 BoxStats box_stats(const std::vector<double>& values);
 
+/// Robust low-side outlier threshold: median − k·1.4826·MAD, where MAD is
+/// the median absolute deviation from the median and 1.4826 rescales it to
+/// a normal-consistent sigma.  With a degenerate (MAD = 0) sample the
+/// threshold collapses onto the median, so only values strictly below the
+/// bulk get flagged.  Throws std::invalid_argument on an empty sample.
+double mad_low_threshold(const std::vector<double>& values, double k = 3.5);
+
+/// Indices of values strictly below mad_low_threshold(values, k), in
+/// ascending index order — the per-window "anomalously bad SNR" flagging
+/// the quality ledger surfaces.  Throws on an empty sample.
+std::vector<std::size_t> mad_low_outliers(const std::vector<double>& values,
+                                          double k = 3.5);
+
 }  // namespace csecg::metrics

@@ -71,4 +71,25 @@ BoxStats box_stats(const std::vector<double>& values) {
   return b;
 }
 
+double mad_low_threshold(const std::vector<double>& values, double k) {
+  CSECG_CHECK(!values.empty(), "mad_low_threshold: empty sample");
+  CSECG_CHECK(k >= 0.0, "mad_low_threshold: k must be non-negative");
+  const double median = percentile(values, 50.0);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::abs(v - median));
+  const double mad = percentile(deviations, 50.0);
+  return median - k * 1.4826 * mad;
+}
+
+std::vector<std::size_t> mad_low_outliers(const std::vector<double>& values,
+                                          double k) {
+  const double threshold = mad_low_threshold(values, k);
+  std::vector<std::size_t> outliers;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < threshold) outliers.push_back(i);
+  }
+  return outliers;
+}
+
 }  // namespace csecg::metrics

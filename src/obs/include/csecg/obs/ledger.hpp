@@ -1,0 +1,80 @@
+// Per-window quality ledger: one structured JSONL row per decoded window,
+// buffered per thread and merged in deterministic sequence order.
+//
+// The runners (core::run_record, link::run_link_record) append one row per
+// window keyed by the window's global sequence number.  Rows carry only
+// deterministic facts — measurement counts, sigma, solver iterations,
+// convergence, residual, PRD/SNR, link accounting — never wall-clock
+// times, so the merged ledger of a run is bit-identical for any thread
+// count (wall time lives in the trace and the histograms instead).
+//
+// Gating mirrors the trace: disabled by default, seeded from the
+// CSECG_LEDGER environment variable, toggled with set_ledger_enabled().
+// Appends from a disabled call site are the caller's responsibility to
+// skip (the runners check ledger_enabled() before building a row string).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace csecg::obs {
+
+/// True while the ledger accepts rows.  Seeded from CSECG_LEDGER.
+bool ledger_enabled() noexcept;
+
+/// Enables/disables ledger recording process-wide.
+void set_ledger_enabled(bool on) noexcept;
+
+/// A sequence-keyed collection of JSONL rows with per-thread append
+/// buffers.  Each appending thread owns a private buffer (its mutex is
+/// uncontended on the append path); buffers are gathered and sorted only
+/// at export time.
+class Ledger {
+ public:
+  Ledger();
+  ~Ledger();  // Out-of-line: Buffer is incomplete here.
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  /// Appends one row — a complete JSON object without trailing newline —
+  /// under sequence key `seq`.  Callers must hand distinct sequences to
+  /// rows that should keep a relative order (the runners derive them from
+  /// record index × windows-per-record + window index).
+  void append(std::uint64_t seq, std::string row);
+
+  /// Every row sorted by (seq, row), each newline-terminated.  The sort
+  /// key makes the output independent of append interleaving, hence
+  /// bit-identical across thread counts for deterministic row content.
+  std::string jsonl() const;
+
+  /// Rows currently buffered.
+  std::size_t size() const;
+
+  /// Drops every buffered row (thread buffers stay registered).
+  void reset();
+
+  /// The process-wide ledger the runners write to.
+  static Ledger& global();
+
+ private:
+  struct Buffer;
+  Buffer& local_buffer();
+
+  const std::size_t id_;  ///< Process-unique, indexes the thread-local cache.
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// Ledger::global().jsonl().
+std::string ledger_jsonl();
+
+/// Ledger::global().reset().
+void ledger_reset();
+
+/// Ledger::global().size().
+std::size_t ledger_size();
+
+}  // namespace csecg::obs

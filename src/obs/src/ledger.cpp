@@ -1,0 +1,122 @@
+#include "csecg/obs/ledger.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+namespace csecg::obs {
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return false;
+  const std::string_view value(env);
+  return !(value.empty() || value == "0" || value == "false" ||
+           value == "off");
+}
+
+std::atomic<bool>& ledger_flag() {
+  static std::atomic<bool> flag{env_truthy("CSECG_LEDGER")};
+  return flag;
+}
+
+/// Process-unique ledger ids, mirroring the histogram shard scheme: a
+/// stale thread-local buffer pointer left by a destroyed ledger can never
+/// be read back because ids are never reused.
+std::atomic<std::size_t> g_next_ledger_id{0};
+
+thread_local std::vector<void*> t_buffers;
+
+}  // namespace
+
+bool ledger_enabled() noexcept {
+  return ledger_flag().load(std::memory_order_relaxed);
+}
+
+void set_ledger_enabled(bool on) noexcept {
+  ledger_flag().store(on, std::memory_order_relaxed);
+}
+
+struct Ledger::Buffer {
+  std::mutex mutex;  ///< Uncontended on append (single owning writer);
+                     ///< taken by the exporter at gather time.
+  std::vector<std::pair<std::uint64_t, std::string>> rows;
+};
+
+Ledger::Ledger()
+    : id_(g_next_ledger_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Ledger::~Ledger() = default;
+
+Ledger::Buffer& Ledger::local_buffer() {
+  if (id_ < t_buffers.size() && t_buffers[id_] != nullptr) {
+    return *static_cast<Buffer*>(t_buffers[id_]);
+  }
+  auto owned = std::make_unique<Buffer>();
+  Buffer* buffer = owned.get();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::move(owned));
+  }
+  if (t_buffers.size() <= id_) t_buffers.resize(id_ + 1, nullptr);
+  t_buffers[id_] = buffer;
+  return *buffer;
+}
+
+void Ledger::append(std::uint64_t seq, std::string row) {
+  Buffer& buffer = local_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.rows.emplace_back(seq, std::move(row));
+}
+
+std::string Ledger::jsonl() const {
+  std::vector<std::pair<std::uint64_t, std::string>> merged;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      merged.insert(merged.end(), buffer->rows.begin(), buffer->rows.end());
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  std::string out;
+  for (const auto& [seq, row] : merged) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+std::size_t Ledger::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->rows.size();
+  }
+  return total;
+}
+
+void Ledger::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->rows.clear();
+  }
+}
+
+Ledger& Ledger::global() {
+  // Leaked for the same reason as Registry::global().
+  static Ledger* ledger = new Ledger();
+  return *ledger;
+}
+
+std::string ledger_jsonl() { return Ledger::global().jsonl(); }
+
+void ledger_reset() { Ledger::global().reset(); }
+
+std::size_t ledger_size() { return Ledger::global().size(); }
+
+}  // namespace csecg::obs

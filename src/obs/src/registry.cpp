@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
-#include <cstdio>
-#include <sstream>
 #include <utility>
+
+#include "csecg/obs/json.hpp"
 
 namespace csecg::obs {
 
@@ -20,21 +20,6 @@ std::atomic<std::size_t> g_next_histogram_id{0};
 /// Per-thread shard cache indexed by histogram id.  Grows only on the
 /// registration slow path; the hot path is one bounds check and one load.
 thread_local std::vector<void*> t_shards;
-
-void append_escaped(std::ostringstream& out, const std::string& text) {
-  out << '"';
-  for (const char c : text) {
-    if (c == '"' || c == '\\') out << '\\';
-    out << c;
-  }
-  out << '"';
-}
-
-void append_double(std::ostringstream& out, double value) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  out << buffer;
-}
 
 }  // namespace
 
@@ -126,8 +111,11 @@ void Histogram::reset() noexcept {
 std::uint64_t Histogram::Snapshot::quantile(double q) const noexcept {
   if (count == 0) return 0;
   q = std::min(std::max(q, 0.0), 1.0);
-  const auto target = static_cast<std::uint64_t>(
+  auto target = static_cast<std::uint64_t>(
       q * static_cast<double>(count) + 0.5);
+  // Any positive q must cover at least one sample, else a single-sample
+  // snapshot reports 0 for every small quantile.
+  if (q > 0.0 && target == 0) target = 1;
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
     seen += buckets[b];
@@ -180,41 +168,54 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 std::string Registry::snapshot_json() const {
+  // Built with the locale-independent helpers in obs/json.hpp: the printf
+  // family follows LC_NUMERIC (a comma-decimal locale renders 2.5 as
+  // "2,5") and iostreams follow the imbued std::locale (digit grouping),
+  // either of which would emit invalid JSON.
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::ostringstream out;
-  out << "{\"counters\":{";
+  std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters_) {
-    if (!first) out << ',';
+    if (!first) out += ',';
     first = false;
-    append_escaped(out, name);
-    out << ':' << value.value();
+    append_json_string(out, name);
+    out += ':';
+    append_json_u64(out, value.value());
   }
-  out << "},\"gauges\":{";
+  out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, value] : gauges_) {
-    if (!first) out << ',';
+    if (!first) out += ',';
     first = false;
-    append_escaped(out, name);
-    out << ':';
-    append_double(out, value.value());
+    append_json_string(out, name);
+    out += ':';
+    append_json_double(out, value.value());
   }
-  out << "},\"histograms\":{";
+  out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, hist] : histograms_) {
-    if (!first) out << ',';
+    if (!first) out += ',';
     first = false;
     const Histogram::Snapshot snap = hist->snapshot();
-    append_escaped(out, name);
-    out << ":{\"count\":" << snap.count << ",\"sum\":" << snap.sum
-        << ",\"max\":" << snap.max << ",\"mean\":";
-    append_double(out, snap.mean());
-    out << ",\"p50\":" << snap.quantile(0.5)
-        << ",\"p90\":" << snap.quantile(0.9)
-        << ",\"p99\":" << snap.quantile(0.99) << '}';
+    append_json_string(out, name);
+    out += ":{\"count\":";
+    append_json_u64(out, snap.count);
+    out += ",\"sum\":";
+    append_json_u64(out, snap.sum);
+    out += ",\"max\":";
+    append_json_u64(out, snap.max);
+    out += ",\"mean\":";
+    append_json_double(out, snap.mean());
+    out += ",\"p50\":";
+    append_json_u64(out, snap.quantile(0.5));
+    out += ",\"p90\":";
+    append_json_u64(out, snap.quantile(0.9));
+    out += ",\"p99\":";
+    append_json_u64(out, snap.quantile(0.99));
+    out += '}';
   }
-  out << "}}";
-  return out.str();
+  out += "}}";
+  return out;
 }
 
 void Registry::reset() {

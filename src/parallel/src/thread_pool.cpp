@@ -8,6 +8,7 @@
 #include "csecg/common/check.hpp"
 #include "csecg/obs/registry.hpp"
 #include "csecg/obs/span.hpp"
+#include "csecg/obs/trace.hpp"
 
 namespace csecg::parallel {
 
@@ -109,6 +110,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                                   std::size_t hi) {
     try {
       const obs::Span run_span(run_hist);
+      obs::TraceScope chunk_trace("pool.chunk", "pool", "chunk", chunk);
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(shared.mutex);

@@ -5,6 +5,7 @@
 #include "csecg/common/check.hpp"
 #include "csecg/obs/registry.hpp"
 #include "csecg/obs/span.hpp"
+#include "csecg/obs/trace.hpp"
 #include "csecg/recovery/prox.hpp"
 
 namespace csecg::recovery {
@@ -22,6 +23,7 @@ FistaResult solve_lasso_fista(const linalg::LinearOperator& a,
                               const FistaOptions& options) {
   static obs::Histogram& solve_hist = obs::histogram("solver.fista.solve_ns");
   const obs::Span solve_span(solve_hist);
+  obs::TraceScope solve_trace("solver.fista.solve", "solver", "iterations");
   validate(options);
   CSECG_CHECK(lambda > 0.0, "solve_lasso_fista: lambda must be positive");
   CSECG_CHECK(y.size() == a.rows(), "solve_lasso_fista: y has "
@@ -90,6 +92,7 @@ FistaResult solve_lasso_fista(const linalg::LinearOperator& a,
   iterations.add(static_cast<std::uint64_t>(result.iterations));
   (result.converged ? converged : non_converged).add();
   last_residual.set(linalg::norm2(residual));
+  solve_trace.set_arg(static_cast<std::uint64_t>(result.iterations));
   return result;
 }
 

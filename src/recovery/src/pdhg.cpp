@@ -6,6 +6,7 @@
 #include "csecg/common/check.hpp"
 #include "csecg/obs/registry.hpp"
 #include "csecg/obs/span.hpp"
+#include "csecg/obs/trace.hpp"
 #include "csecg/recovery/prox.hpp"
 
 namespace csecg::recovery {
@@ -36,6 +37,7 @@ PdhgResult solve_bpdn(const linalg::LinearOperator& phi,
                       const PdhgOptions& options) {
   static obs::Histogram& solve_hist = obs::histogram("solver.pdhg.solve_ns");
   const obs::Span solve_span(solve_hist);
+  obs::TraceScope solve_trace("solver.pdhg.solve", "solver", "iterations");
   validate(options);
   const std::size_t m = phi.rows();
   const std::size_t n = phi.cols();
@@ -160,6 +162,8 @@ PdhgResult solve_bpdn(const linalg::LinearOperator& phi,
     result.iterations = it;
 
     if (it % options.check_every == 0 || it == options.max_iterations) {
+      obs::trace_instant("solver.pdhg.check", "solver", "iteration",
+                         static_cast<std::uint64_t>(it));
       for (std::size_t i = 0; i < n; ++i) {
         check_diff[i] = x[i] - x_prev_check[i];
       }
@@ -206,6 +210,7 @@ PdhgResult solve_bpdn(const linalg::LinearOperator& phi,
   (result.converged ? converged : non_converged).add();
   last_residual.set(result.ball_violation);
   last_epsilon.set(sigma);
+  solve_trace.set_arg(static_cast<std::uint64_t>(result.iterations));
   return result;
 }
 

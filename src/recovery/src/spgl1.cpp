@@ -7,6 +7,7 @@
 #include "csecg/common/check.hpp"
 #include "csecg/obs/registry.hpp"
 #include "csecg/obs/span.hpp"
+#include "csecg/obs/trace.hpp"
 
 namespace csecg::recovery {
 
@@ -53,6 +54,8 @@ Spgl1Result solve_bpdn_spgl1(const linalg::LinearOperator& a,
                              const Spgl1Options& options) {
   static obs::Histogram& solve_hist = obs::histogram("solver.spgl1.solve_ns");
   const obs::Span solve_span(solve_hist);
+  obs::TraceScope solve_trace("solver.spgl1.solve", "solver",
+                              "inner_iterations");
   validate(options);
   CSECG_CHECK(y.size() == a.rows(), "solve_bpdn_spgl1: y dimension mismatch");
   CSECG_CHECK(sigma >= 0.0, "solve_bpdn_spgl1: sigma must be non-negative");
@@ -88,6 +91,8 @@ Spgl1Result solve_bpdn_spgl1(const linalg::LinearOperator& a,
 
   for (int root_it = 1; root_it <= options.max_root_iterations; ++root_it) {
     result.root_iterations = root_it;
+    obs::trace_instant("solver.spgl1.root_step", "solver", "root_iteration",
+                       static_cast<std::uint64_t>(root_it));
     // Newton step on the Pareto curve: φ(τ) ≈ ‖r‖, φ'(τ) = −‖Aᵀr‖∞/‖r‖.
     const double phi = linalg::norm2(residual);
     a.apply_adjoint_into(residual, grad);
@@ -144,6 +149,8 @@ Spgl1Result solve_bpdn_spgl1(const linalg::LinearOperator& a,
   (result.converged ? converged : non_converged).add();
   last_residual.set(result.residual_norm);
   last_epsilon.set(sigma);
+  solve_trace.set_arg(
+      static_cast<std::uint64_t>(result.total_inner_iterations));
   return result;
 }
 

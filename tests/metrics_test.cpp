@@ -188,5 +188,37 @@ TEST(BoxStats, AllEqualValues) {
   EXPECT_TRUE(b.outliers.empty());
 }
 
+TEST(MadOutliers, KnownFence) {
+  // median = 20, |v − 20| = {10, 5, 0, 5, 10} → MAD = 5.
+  const std::vector<double> values{10.0, 15.0, 20.0, 25.0, 30.0};
+  EXPECT_DOUBLE_EQ(mad_low_threshold(values, 2.0),
+                   20.0 - 2.0 * 1.4826 * 5.0);
+}
+
+TEST(MadOutliers, FlagsOnlyTheLowTail) {
+  // One window collapsed; the fence must catch it and nothing else.
+  const std::vector<double> values{21.0, 22.0, 20.0, 21.5, 2.0, 22.5};
+  const auto outliers = mad_low_outliers(values);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0], 4u);
+  // A symmetric high value is NOT flagged: the fence is one-sided (low
+  // quality hurts; unusually good windows do not).
+  const std::vector<double> high{21.0, 22.0, 20.0, 21.5, 40.0, 22.5};
+  EXPECT_TRUE(mad_low_outliers(high).empty());
+}
+
+TEST(MadOutliers, DegenerateMadFlagsNothing) {
+  // All-equal samples: MAD = 0, fence = median, and the comparison is
+  // strict, so nothing is an outlier.
+  const std::vector<double> values{7.0, 7.0, 7.0, 7.0};
+  EXPECT_DOUBLE_EQ(mad_low_threshold(values), 7.0);
+  EXPECT_TRUE(mad_low_outliers(values).empty());
+}
+
+TEST(MadOutliers, EmptyAndNegativeKThrow) {
+  EXPECT_THROW(mad_low_threshold({}), std::invalid_argument);
+  EXPECT_THROW(mad_low_threshold({1.0}, -1.0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace csecg::metrics
