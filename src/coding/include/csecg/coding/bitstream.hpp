@@ -41,7 +41,8 @@ class BitReader {
   explicit BitReader(std::vector<std::uint8_t> bytes);
 
   /// Reads `count` bits (0..64) into the low bits of the result.
-  /// Throws std::out_of_range past the end of the stream.
+  /// Throws coding::DecodeError past the end of the stream (the reader
+  /// sits on the untrusted-input boundary; see decode_error.hpp).
   std::uint64_t read(int count);
 
   /// Reads a single bit.

@@ -1,0 +1,56 @@
+// The typed failure of every untrusted-input decoder.
+//
+// Frames, packets, codebooks, and entropy-coded payloads arrive over the
+// lossy telemetry link, so the bytes any decoder sees are adversarial: a
+// bit-flip the CRC missed, a truncation, or a crafted stream.  Every
+// decoder in the tree obeys one contract on arbitrary bytes:
+//
+//   * return a decoded value, or
+//   * throw DecodeError —
+//
+// never undefined behaviour, never an abort, and never an allocation
+// larger than a small constant multiple of the input size (declared
+// lengths are validated *before* any resize/reserve).  The fuzz harness
+// (csecg::fuzz) enforces this contract mechanically; std::invalid_argument
+// from CSECG_CHECK remains reserved for API misuse (bad dimensions,
+// out-of-range parameters chosen by the caller, not by the wire).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace csecg::coding {
+
+/// Malformed untrusted input: the bytes cannot decode under the format.
+/// Deliberately a std::runtime_error (not logic_error): the program is
+/// correct, the input is hostile.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_decode_failure(const char* condition,
+                                              const std::string& message) {
+  std::ostringstream oss;
+  oss << "csecg decode error: " << condition;
+  if (!message.empty()) oss << " — " << message;
+  throw DecodeError(oss.str());
+}
+
+}  // namespace detail
+}  // namespace csecg::coding
+
+/// Validates a property of untrusted input; throws coding::DecodeError
+/// when violated.  `msg` may use stream syntax like CSECG_CHECK.
+#define CSECG_DECODE_CHECK(cond, msg)                                   \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream csecg_decode_oss;                              \
+      csecg_decode_oss << msg;                                          \
+      ::csecg::coding::detail::throw_decode_failure(                    \
+          #cond, csecg_decode_oss.str());                               \
+    }                                                                   \
+  } while (false)

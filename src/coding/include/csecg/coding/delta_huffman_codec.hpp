@@ -44,8 +44,11 @@ class DeltaHuffmanCodec {
   /// Exact encoded size in bits without materializing the payload.
   std::size_t encoded_bits(const std::vector<std::int64_t>& codes) const;
 
-  /// Decodes a payload back to `count` codes.  Throws std::out_of_range /
-  /// std::invalid_argument on malformed payloads.
+  /// Decodes a payload back to `count` codes.  The payload is untrusted:
+  /// truncated or desynchronized streams throw coding::DecodeError;
+  /// allocation never exceeds `count` entries.  Decoded codes may still
+  /// fall outside [0, 2^B) on a corrupt-but-decodable stream — callers
+  /// on the receive path must range-check them.
   std::vector<std::int64_t> decode(const std::vector<std::uint8_t>& payload,
                                    std::size_t count) const;
 

@@ -44,8 +44,8 @@ class HuffmanCodebook {
   /// Code length of a symbol in bits; throws if absent.
   int code_length(std::int64_t symbol) const;
 
-  /// Decodes one symbol from the reader.  Throws std::out_of_range when
-  /// the stream ends mid-code.
+  /// Decodes one symbol from the reader.  Throws coding::DecodeError when
+  /// the stream ends mid-code or the bits match no codebook entry.
   std::int64_t decode(BitReader& reader) const;
 
   /// Expected code length (bits/symbol) under a usage histogram.  Symbols
@@ -62,8 +62,11 @@ class HuffmanCodebook {
   /// Serializes to the canonical byte layout (matching storage_bytes()).
   std::vector<std::uint8_t> serialize() const;
 
-  /// Reconstructs a codebook from serialize() output.  Throws
-  /// std::invalid_argument on malformed input.
+  /// Reconstructs a codebook from serialize() output.  The bytes are
+  /// untrusted (codebooks ship over the provisioning link): truncation,
+  /// size mismatches, Kraft-inconsistent length tables, duplicate or
+  /// out-of-canonical-order symbols, and empty tables all throw
+  /// coding::DecodeError.  Allocation is bounded by the input size.
   static HuffmanCodebook deserialize(const std::vector<std::uint8_t>& bytes);
 
  private:

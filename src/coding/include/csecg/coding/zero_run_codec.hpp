@@ -21,7 +21,9 @@ namespace csecg::coding {
 /// Writes the Elias-gamma code of value ≥ 1.
 void elias_gamma_encode(std::uint64_t value, BitWriter& writer);
 
-/// Reads an Elias-gamma code.  Throws std::out_of_range on truncation.
+/// Reads an Elias-gamma code.  Throws coding::DecodeError on truncation
+/// or when the zero prefix exceeds 63 bits (no 64-bit value encodes to a
+/// longer prefix, so such a stream is necessarily corrupt).
 std::uint64_t elias_gamma_decode(BitReader& reader);
 
 /// Number of bits elias_gamma_encode(value) writes.
@@ -54,7 +56,9 @@ class ZeroRunDeltaCodec {
   /// Exact encoded size in bits without materializing the payload.
   std::size_t encoded_bits(const std::vector<std::int64_t>& codes) const;
 
-  /// Decodes a payload back to `count` codes.
+  /// Decodes a payload back to `count` codes.  The payload is untrusted:
+  /// truncation, desynchronized codes, and oversized runs throw
+  /// coding::DecodeError; allocation never exceeds `count` entries.
   std::vector<std::int64_t> decode(const std::vector<std::uint8_t>& payload,
                                    std::size_t count) const;
 

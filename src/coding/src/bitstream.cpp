@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "csecg/coding/decode_error.hpp"
 #include "csecg/common/check.hpp"
 
 namespace csecg::coding {
@@ -46,7 +47,7 @@ std::uint64_t BitReader::read(int count) {
 
 bool BitReader::read_bit() {
   if (position_ >= bytes_.size() * 8) {
-    throw std::out_of_range("BitReader: read past end of stream");
+    throw DecodeError("BitReader: read past end of stream");
   }
   const bool bit =
       (bytes_[position_ / 8] >> (7 - position_ % 8)) & 1u;

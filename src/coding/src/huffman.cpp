@@ -4,6 +4,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "csecg/coding/decode_error.hpp"
 #include "csecg/common/check.hpp"
 
 namespace csecg::coding {
@@ -150,7 +151,7 @@ std::int64_t HuffmanCodebook::decode(BitReader& reader) const {
       return entries_[first_index_[l] + (code - first_code_[l])].symbol;
     }
   }
-  throw std::out_of_range("HuffmanCodebook::decode: invalid code");
+  throw DecodeError("HuffmanCodebook::decode: invalid code");
 }
 
 double HuffmanCodebook::expected_bits_per_symbol(
@@ -198,6 +199,19 @@ std::vector<std::uint8_t> HuffmanCodebook::serialize() const {
   }
   const std::uint8_t symbol_bytes =
       (lo >= -128 && hi <= 127) ? 1 : (lo >= -32768 && hi <= 32767) ? 2 : 4;
+  // The wire format stores max_length and each per-length count in one
+  // byte; lengths beyond 63 cannot round-trip (codes live in uint64) and
+  // counts beyond 255 would silently truncate.  Fail loudly instead.
+  CSECG_CHECK(max_length_ >= 1 && max_length_ <= 63,
+              "HuffmanCodebook::serialize: max code length "
+                  << max_length_ << " exceeds the format's 63-bit cap");
+  for (int len = 1; len <= max_length_; ++len) {
+    CSECG_CHECK(count_[static_cast<std::size_t>(len)] <= 0xFF,
+                "HuffmanCodebook::serialize: "
+                    << count_[static_cast<std::size_t>(len)]
+                    << " codes of length " << len
+                    << " exceed the format's one-byte count");
+  }
   std::vector<std::uint8_t> out;
   out.push_back(symbol_bytes);
   out.push_back(static_cast<std::uint8_t>(max_length_));
@@ -216,23 +230,51 @@ std::vector<std::uint8_t> HuffmanCodebook::serialize() const {
 
 HuffmanCodebook HuffmanCodebook::deserialize(
     const std::vector<std::uint8_t>& bytes) {
-  CSECG_CHECK(bytes.size() >= 2, "HuffmanCodebook::deserialize: truncated");
+  CSECG_DECODE_CHECK(bytes.size() >= 2,
+                     "HuffmanCodebook::deserialize: truncated");
   const std::uint8_t symbol_bytes = bytes[0];
-  CSECG_CHECK(symbol_bytes == 1 || symbol_bytes == 2 || symbol_bytes == 4,
-              "HuffmanCodebook::deserialize: bad symbol width "
-                  << int{symbol_bytes});
+  CSECG_DECODE_CHECK(
+      symbol_bytes == 1 || symbol_bytes == 2 || symbol_bytes == 4,
+      "HuffmanCodebook::deserialize: bad symbol width " << int{symbol_bytes});
   const int max_length = bytes[1];
-  CSECG_CHECK(max_length >= 1,
-              "HuffmanCodebook::deserialize: bad max length");
-  CSECG_CHECK(bytes.size() >= 2 + static_cast<std::size_t>(max_length),
-              "HuffmanCodebook::deserialize: truncated length table");
+  // serialize() caps lengths at 63 (codes live in uint64); anything wider
+  // can only come from a corrupt or crafted stream.
+  CSECG_DECODE_CHECK(max_length >= 1 && max_length <= 63,
+                     "HuffmanCodebook::deserialize: bad max length "
+                         << max_length);
+  CSECG_DECODE_CHECK(bytes.size() >= 2 + static_cast<std::size_t>(max_length),
+                     "HuffmanCodebook::deserialize: truncated length table");
+  // Kraft consistency: a canonical code with these per-length counts must
+  // be exactly complete (build() always emits complete codes).  Walk the
+  // code space top-down — `room` is how many codes of the current length
+  // remain unassigned; it at most doubles per level, so with max_length
+  // ≤ 63 it fits a uint64.  Over-subscription here is the bug that used
+  // to yield overlapping/overflowing codes and silent wrong symbols.
   std::size_t total_symbols = 0;
+  std::uint64_t room = 1;
   for (int len = 1; len <= max_length; ++len) {
-    total_symbols += bytes[1 + static_cast<std::size_t>(len)];
+    const std::uint64_t count = bytes[1 + static_cast<std::size_t>(len)];
+    room <<= 1;
+    CSECG_DECODE_CHECK(count <= room,
+                       "HuffmanCodebook::deserialize: length table "
+                       "over-subscribes the code space at length "
+                           << len << " (Kraft sum > 1)");
+    room -= count;
+    total_symbols += count;
   }
+  // build() emits complete codes except for the single-symbol alphabet,
+  // which gets a lone 1-bit code (Kraft sum ½) — the one legal
+  // incomplete shape.
+  CSECG_DECODE_CHECK(room == 0 || (total_symbols == 1 && max_length == 1),
+                     "HuffmanCodebook::deserialize: length table leaves "
+                     "the code incomplete (Kraft sum < 1)");
+  CSECG_DECODE_CHECK(total_symbols > 0,
+                     "HuffmanCodebook::deserialize: empty codebook");
   const std::size_t body_start = 2 + static_cast<std::size_t>(max_length);
-  CSECG_CHECK(bytes.size() == body_start + total_symbols * symbol_bytes,
-              "HuffmanCodebook::deserialize: size mismatch");
+  // Exact-size check before the reserve below: allocation is bounded by
+  // the input size, never by an attacker-declared length alone.
+  CSECG_DECODE_CHECK(bytes.size() == body_start + total_symbols * symbol_bytes,
+                     "HuffmanCodebook::deserialize: size mismatch");
 
   HuffmanCodebook book;
   book.entries_.reserve(total_symbols);
@@ -253,11 +295,29 @@ HuffmanCodebook HuffmanCodebook::deserialize(
       } else {
         symbol = static_cast<std::int32_t>(u);
       }
+      // Canonical order within a length is strictly increasing symbols
+      // (what serialize() writes); this also rejects duplicates within
+      // the length run.
+      CSECG_DECODE_CHECK(k == 0 || book.entries_.back().symbol < symbol,
+                         "HuffmanCodebook::deserialize: symbols of length "
+                             << len << " out of canonical order");
       Entry entry;
       entry.symbol = symbol;
       entry.length = len;
       book.entries_.push_back(entry);
     }
+  }
+  // Symbol uniqueness across lengths, mirroring build()'s duplicate check
+  // — a duplicate would make encode/decode disagree silently.
+  std::vector<std::int64_t> symbols(book.entries_.size());
+  for (std::size_t i = 0; i < book.entries_.size(); ++i) {
+    symbols[i] = book.entries_[i].symbol;
+  }
+  std::sort(symbols.begin(), symbols.end());
+  for (std::size_t i = 1; i < symbols.size(); ++i) {
+    CSECG_DECODE_CHECK(symbols[i] != symbols[i - 1],
+                       "HuffmanCodebook::deserialize: duplicate symbol "
+                           << symbols[i]);
   }
   // Reassign canonical codes.
   std::uint64_t code = 0;

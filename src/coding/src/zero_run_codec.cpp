@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "csecg/coding/decode_error.hpp"
 #include "csecg/coding/delta.hpp"
 #include "csecg/common/check.hpp"
 
@@ -16,8 +17,19 @@ void elias_gamma_encode(std::uint64_t value, BitWriter& writer) {
 }
 
 std::uint64_t elias_gamma_decode(BitReader& reader) {
+  // The zero-prefix length equals the payload bit count, so a prefix of
+  // 64+ zeros cannot come from elias_gamma_encode (values are 64-bit).
+  // On a corrupt stream it used to drive the shift below past the width
+  // of value — undefined behaviour, and the wrapped result could slip
+  // past downstream run-length checks.  Cap the prefix at 63 bits.
   int bits = 0;
-  while (!reader.read_bit()) ++bits;
+  while (!reader.read_bit()) {
+    if (++bits > 63) {
+      throw DecodeError(
+          "elias_gamma_decode: zero prefix exceeds 63 bits — corrupt "
+          "stream");
+    }
+  }
   std::uint64_t value = 1;
   for (int i = 0; i < bits; ++i) {
     value = (value << 1) | static_cast<std::uint64_t>(reader.read_bit());
@@ -151,8 +163,15 @@ std::vector<std::int64_t> ZeroRunDeltaCodec::decode(
     std::int64_t symbol = codebook_.decode(reader);
     if (symbol == run_symbol()) {
       const std::uint64_t run_length = elias_gamma_decode(reader);
-      CSECG_CHECK(enc.diffs.size() + run_length + 1 <= count,
-                  "ZeroRunDeltaCodec::decode: run overflows the window");
+      // Compare against the remaining room instead of summing — the sum
+      // form wraps for run lengths near 2^64 and a wrapped value would
+      // pass the bound, then push until allocation failure.  The loop
+      // condition guarantees count ≥ diffs.size() + 2 here, so the
+      // subtraction cannot underflow.
+      const std::uint64_t room = count - 1 - enc.diffs.size();
+      CSECG_DECODE_CHECK(run_length <= room,
+                         "ZeroRunDeltaCodec::decode: run of "
+                             << run_length << " overflows the window");
       for (std::uint64_t k = 0; k < run_length; ++k) enc.diffs.push_back(0);
       continue;
     }

@@ -44,6 +44,7 @@
 #include "csecg/recovery/spgl1.hpp"
 
 #include "csecg/coding/bitstream.hpp"
+#include "csecg/coding/decode_error.hpp"
 #include "csecg/coding/delta.hpp"
 #include "csecg/coding/delta_huffman_codec.hpp"
 #include "csecg/coding/huffman.hpp"

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "csecg/coding/decode_error.hpp"
 #include "csecg/common/check.hpp"
 #include "csecg/obs/registry.hpp"
 #include "csecg/obs/span.hpp"
@@ -202,8 +203,30 @@ DecodeResult Decoder::decode(const Frame& frame, DecodeMode mode) const {
   // low-resolution channel is shifted into the same domain.
   std::optional<recovery::BoxConstraint> box;
   if (use_box) {
-    box = box_from_codes(codec_->decode(frame.lowres_payload,
-                                        config_.window));
+    static obs::Counter& payload_errors =
+        obs::counter("decode.payload_errors");
+    try {
+      const std::vector<std::int64_t> codes =
+          codec_->decode(frame.lowres_payload, config_.window);
+      // A corrupt-but-decodable stream can yield codes outside the B-bit
+      // alphabet; box_from_codes would then reach into the quantizer with
+      // garbage.  Treat them as payload corruption, not API misuse.
+      const std::int64_t levels = std::int64_t{1} << config_.lowres_bits;
+      for (const std::int64_t code : codes) {
+        CSECG_DECODE_CHECK(code >= 0 && code < levels,
+                           "Decoder::decode: low-res code "
+                               << code << " outside the "
+                               << config_.lowres_bits << "-bit range");
+      }
+      box = box_from_codes(codes);
+    } catch (const coding::DecodeError&) {
+      // The side channel is garbage for this window.  kAuto degrades to
+      // the normal-CS solve (the window survives, a few dB worse);
+      // kHybrid promised the caller a box, so the typed error propagates.
+      payload_errors.add();
+      if (mode == DecodeMode::kHybrid) throw;
+      box.reset();
+    }
   }
   return solve_window(frame.measurements, std::move(box));
 }

@@ -1,0 +1,30 @@
+// libFuzzer entry point for one fuzz target.
+//
+// Compiled once per target with -DCSECG_FUZZ_TARGET=<Target enumerator>
+// (e.g. kCodebook) under -fsanitize=fuzzer when CSECG_FUZZ=ON.  The
+// deterministic harness in targets.cpp stays the tier-1 workhorse; this
+// shim lets a nightly coverage-guided run reach states the structure-
+// aware mutators do not.  A ContractViolation deliberately escapes —
+// libFuzzer reports the uncaught exception as a crash and saves the
+// input, which is then minimized and committed under tests/corpus/.
+//
+// The shim is also compiled (not linked) in every regular build as an
+// OBJECT library, so it cannot rot while CSECG_FUZZ is OFF.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "csecg/fuzz/targets.hpp"
+
+#ifndef CSECG_FUZZ_TARGET
+#error "Compile with -DCSECG_FUZZ_TARGET=<Target enumerator>, e.g. kCodebook"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static constexpr csecg::fuzz::Target kTarget =
+      csecg::fuzz::Target::CSECG_FUZZ_TARGET;
+  const std::vector<std::uint8_t> input(data, data + size);
+  (void)csecg::fuzz::run_one(kTarget, input);
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "csecg/fuzz/fixtures.hpp"
+
+#include <algorithm>
+
+#include "csecg/rng/distributions.hpp"
+#include "csecg/rng/xoshiro.hpp"
+
+namespace csecg::fuzz {
+
+std::vector<std::vector<std::int64_t>> staircase_corpus(int code_bits,
+                                                        std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<std::vector<std::int64_t>> corpus;
+  const std::int64_t max_code = (std::int64_t{1} << code_bits) - 1;
+  for (int w = 0; w < 16; ++w) {
+    std::vector<std::int64_t> window;
+    std::int64_t level = max_code / 2;
+    for (int i = 0; i < 256; ++i) {
+      const double u = rng::uniform01(gen);
+      if (u < 0.05) level += 1;
+      if (u > 0.95) level -= 1;
+      level = std::clamp<std::int64_t>(level, 0, max_code);
+      window.push_back(level);
+    }
+    corpus.push_back(std::move(window));
+  }
+  return corpus;
+}
+
+const sensing::Quantizer& reference_adc() {
+  static const sensing::Quantizer adc(8, -4.0, 4.0);
+  return adc;
+}
+
+const coding::DeltaHuffmanCodec& reference_delta_codec() {
+  static const coding::DeltaHuffmanCodec codec =
+      coding::DeltaHuffmanCodec::train(staircase_corpus(7, 17), 7);
+  return codec;
+}
+
+const coding::ZeroRunDeltaCodec& reference_zero_run_codec() {
+  static const coding::ZeroRunDeltaCodec codec =
+      coding::ZeroRunDeltaCodec::train(staircase_corpus(5, 9), 5);
+  return codec;
+}
+
+const coding::HuffmanCodebook& reference_codebook() {
+  return reference_delta_codec().codebook();
+}
+
+}  // namespace csecg::fuzz

@@ -1,0 +1,128 @@
+#include "csecg/fuzz/mutators.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "csecg/rng/distributions.hpp"
+
+namespace csecg::fuzz {
+namespace {
+
+std::size_t index_below(rng::Xoshiro256& gen, std::size_t bound) {
+  return static_cast<std::size_t>(
+      rng::uniform_below(gen, static_cast<std::uint64_t>(bound)));
+}
+
+std::uint8_t boundary_byte(rng::Xoshiro256& gen) {
+  static constexpr std::uint8_t kBoundaries[] = {0x00, 0xFF, 0x7F, 0x80};
+  const std::uint64_t pick = rng::uniform_below(gen, 5);
+  if (pick < 4) return kBoundaries[pick];
+  return static_cast<std::uint8_t>(gen.next() & 0xFF);
+}
+
+}  // namespace
+
+Bytes flip_bit(Bytes input, rng::Xoshiro256& gen) {
+  if (input.empty()) return input;
+  const std::size_t bit = index_below(gen, input.size() * 8);
+  input[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  return input;
+}
+
+Bytes set_byte(Bytes input, rng::Xoshiro256& gen) {
+  if (input.empty()) return input;
+  input[index_below(gen, input.size())] = boundary_byte(gen);
+  return input;
+}
+
+Bytes truncate(Bytes input, rng::Xoshiro256& gen) {
+  input.resize(index_below(gen, input.size() + 1));
+  return input;
+}
+
+Bytes extend(Bytes input, rng::Xoshiro256& gen) {
+  const std::size_t extra = 1 + index_below(gen, 16);
+  for (std::size_t i = 0; i < extra; ++i) {
+    input.push_back(static_cast<std::uint8_t>(gen.next() & 0xFF));
+  }
+  return input;
+}
+
+Bytes corrupt_length_field(Bytes input, rng::Xoshiro256& gen) {
+  if (input.empty()) return input;
+  static constexpr std::size_t kWidths[] = {1, 2, 4};
+  const std::size_t width =
+      std::min(kWidths[index_below(gen, 3)], input.size());
+  const std::size_t offset = index_below(gen, input.size() - width + 1);
+  // Boundary counts: empty, one, all-ones, almost-all-ones, or a huge
+  // value with high bits set (allocation-bomb probe).
+  std::uint64_t value = 0;
+  switch (rng::uniform_below(gen, 5)) {
+    case 0: value = 0; break;
+    case 1: value = 1; break;
+    case 2: value = ~std::uint64_t{0}; break;
+    case 3: value = ~std::uint64_t{0} - 1; break;
+    default: value = gen.next() | (std::uint64_t{1} << 63); break;
+  }
+  const bool big_endian = (gen.next() & 1) != 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t shift = big_endian ? (width - 1 - i) : i;
+    input[offset + i] = static_cast<std::uint8_t>((value >> (8 * shift)) &
+                                                  0xFF);
+  }
+  return input;
+}
+
+Bytes delete_chunk(Bytes input, rng::Xoshiro256& gen) {
+  if (input.empty()) return input;
+  const std::size_t begin = index_below(gen, input.size());
+  const std::size_t length = 1 + index_below(gen, input.size() - begin);
+  input.erase(input.begin() + static_cast<std::ptrdiff_t>(begin),
+              input.begin() + static_cast<std::ptrdiff_t>(begin + length));
+  return input;
+}
+
+Bytes duplicate_chunk(Bytes input, rng::Xoshiro256& gen) {
+  if (input.empty()) return input;
+  const std::size_t begin = index_below(gen, input.size());
+  const std::size_t length =
+      1 + index_below(gen, std::min<std::size_t>(input.size() - begin, 32));
+  const Bytes chunk(input.begin() + static_cast<std::ptrdiff_t>(begin),
+                    input.begin() +
+                        static_cast<std::ptrdiff_t>(begin + length));
+  input.insert(input.begin() + static_cast<std::ptrdiff_t>(begin),
+               chunk.begin(), chunk.end());
+  return input;
+}
+
+Bytes splice(const Bytes& a, const Bytes& b, rng::Xoshiro256& gen) {
+  const std::size_t prefix = index_below(gen, a.size() + 1);
+  const std::size_t suffix_begin = index_below(gen, b.size() + 1);
+  Bytes out(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(prefix));
+  out.insert(out.end(),
+             b.begin() + static_cast<std::ptrdiff_t>(suffix_begin), b.end());
+  return out;
+}
+
+Bytes mutate(const Bytes& input, const std::vector<Bytes>& pool,
+             rng::Xoshiro256& gen) {
+  Bytes out = input;
+  const std::size_t rounds = 1 + index_below(gen, 3);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    switch (rng::uniform_below(gen, pool.empty() ? 7 : 8)) {
+      case 0: out = flip_bit(std::move(out), gen); break;
+      case 1: out = set_byte(std::move(out), gen); break;
+      case 2: out = truncate(std::move(out), gen); break;
+      case 3: out = extend(std::move(out), gen); break;
+      case 4: out = corrupt_length_field(std::move(out), gen); break;
+      case 5: out = delete_chunk(std::move(out), gen); break;
+      case 6: out = duplicate_chunk(std::move(out), gen); break;
+      default:
+        out = splice(out, pool[index_below(gen, pool.size())], gen);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace csecg::fuzz

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "csecg/coding/bitstream.hpp"
+#include "csecg/coding/decode_error.hpp"
 #include "csecg/common/check.hpp"
+#include "csecg/obs/registry.hpp"
 
 namespace csecg::link {
 namespace {
@@ -248,8 +250,13 @@ ReassemblyResult Reassembler::reassemble(
       std::vector<std::int64_t> codes;
       try {
         codes = codec_->decode(parsed->payload, count);
-      } catch (const std::exception&) {
-        // A CRC collision let a mangled range through — drop it.
+      } catch (const coding::DecodeError&) {
+        // A CRC collision let a mangled range through — drop it.  Only
+        // the typed decode error is survivable here; anything else is a
+        // programming bug and must surface.
+        static obs::Counter& payload_errors =
+            obs::counter("decode.payload_errors");
+        payload_errors.add();
         ++result.packets_rejected;
         continue;
       }

@@ -52,7 +52,7 @@ TEST_F(FailureTest, TruncatedLowResPayloadThrows) {
   // Radio dropped the tail of the payload.
   frame.lowres_payload.resize(frame.lowres_payload.size() / 4);
   EXPECT_THROW(decoder.decode(frame, core::DecodeMode::kHybrid),
-               std::out_of_range);
+               coding::DecodeError);
 }
 
 TEST_F(FailureTest, CorruptedPayloadEitherThrowsOrDecodesSomething) {
@@ -70,8 +70,7 @@ TEST_F(FailureTest, CorruptedPayloadEitherThrowsOrDecodesSomething) {
       const auto result =
           decoder.decode(corrupted, core::DecodeMode::kHybrid);
       EXPECT_EQ(result.x.size(), 256u);
-    } catch (const std::out_of_range&) {
-    } catch (const std::invalid_argument&) {
+    } catch (const coding::DecodeError&) {
     }
   }
 }

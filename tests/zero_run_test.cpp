@@ -3,6 +3,7 @@
 
 #include <stdexcept>
 
+#include "csecg/coding/decode_error.hpp"
 #include "csecg/coding/delta_huffman_codec.hpp"
 #include "csecg/coding/zero_run_codec.hpp"
 #include "csecg/rng/distributions.hpp"
@@ -162,7 +163,7 @@ TEST(ZeroRun, DecodeRunOverflowRejected) {
   const auto payload = codec.encode(window, bits);
   // Asking for fewer symbols than the encoded run carries must throw, not
   // silently truncate.
-  EXPECT_THROW(codec.decode(payload, 50), std::invalid_argument);
+  EXPECT_THROW(codec.decode(payload, 50), DecodeError);
 }
 
 }  // namespace
